@@ -1,0 +1,308 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation. Wall-clock ns/op measures the simulator itself; the
+// numbers that reproduce the paper are the reported custom metrics:
+// simns/op (virtual nanoseconds per operation), ops/simsec, and the
+// per-runtime counters. Run:
+//
+//	go test -bench=. -benchmem
+//
+// and compare the simns/op columns against EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/clock"
+	"repro/internal/cve"
+	"repro/internal/des"
+	"repro/internal/workloads"
+)
+
+// runtimeConfigs is the standard comparison set.
+var runtimeConfigs = []struct {
+	name string
+	kind backends.Kind
+	opts backends.Options
+}{
+	{"RunC", backends.RunC, backends.Options{}},
+	{"HVM-BM", backends.HVM, backends.Options{}},
+	{"HVM-NST", backends.HVM, backends.Options{Nested: true}},
+	{"PVM-BM", backends.PVM, backends.Options{}},
+	{"PVM-NST", backends.PVM, backends.Options{Nested: true}},
+	{"CKI", backends.CKI, backends.Options{}},
+}
+
+// BenchmarkTable2Syscall measures the getpid row of Table 2 (plus the
+// Fig. 10b ablations).
+func BenchmarkTable2Syscall(b *testing.B) {
+	cfgs := append(runtimeConfigs[:len(runtimeConfigs):len(runtimeConfigs)],
+		struct {
+			name string
+			kind backends.Kind
+			opts backends.Options
+		}{"CKI-wo-OPT2", backends.CKI, backends.Options{WoOPT2: true}},
+		struct {
+			name string
+			kind backends.Kind
+			opts backends.Options
+		}{"CKI-wo-OPT3", backends.CKI, backends.Options{WoOPT3: true}},
+	)
+	for _, cfg := range cfgs {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := backends.MustNew(cfg.kind, cfg.opts)
+			start := c.Clk.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.K.Getpid()
+			}
+			b.StopTimer()
+			report(b, c.Clk.Now()-start, b.N)
+		})
+	}
+}
+
+// BenchmarkTable2PageFault measures the pgfault row (file-backed).
+func BenchmarkTable2PageFault(b *testing.B) {
+	for _, cfg := range runtimeConfigs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var total clock.Time
+			n := 0
+			for i := 0; i < b.N; i++ {
+				c := backends.MustNew(cfg.kind, cfg.opts)
+				v, err := c.MeasureFileFault(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += v
+				n++
+			}
+			report(b, total, n)
+		})
+	}
+}
+
+// BenchmarkFig10aAnonFault measures the anonymous-fault flow.
+func BenchmarkFig10aAnonFault(b *testing.B) {
+	for _, cfg := range runtimeConfigs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var total clock.Time
+			n := 0
+			for i := 0; i < b.N; i++ {
+				c := backends.MustNew(cfg.kind, cfg.opts)
+				v, err := c.MeasureAnonFault(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += v
+				n++
+			}
+			report(b, total, n)
+		})
+	}
+}
+
+// BenchmarkTable2Hypercall measures the hypercall row.
+func BenchmarkTable2Hypercall(b *testing.B) {
+	for _, cfg := range runtimeConfigs {
+		if cfg.kind == backends.RunC {
+			continue
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			c := backends.MustNew(cfg.kind, cfg.opts)
+			var total clock.Time
+			for i := 0; i < b.N; i++ {
+				v, err := c.MeasureHypercall()
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += v
+			}
+			report(b, total, b.N)
+		})
+	}
+}
+
+// benchRunner runs a workload Runner once per iteration and reports
+// virtual time per application operation.
+func benchRunner(b *testing.B, r workloads.Runner, kind backends.Kind, opts backends.Options) {
+	b.Helper()
+	var total clock.Time
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		c := backends.MustNew(kind, opts)
+		res, err := r.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Time
+		ops += res.Ops
+	}
+	report(b, total, ops)
+}
+
+// BenchmarkFig12MemApps covers Figures 4 and 12.
+func BenchmarkFig12MemApps(b *testing.B) {
+	for _, app := range workloads.Fig12Apps(1) {
+		for _, cfg := range runtimeConfigs {
+			b.Run(app.AppName+"/"+cfg.name, func(b *testing.B) {
+				benchRunner(b, app, cfg.kind, cfg.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Sweeps covers the overhead sweeps.
+func BenchmarkFig13Sweeps(b *testing.B) {
+	for _, ratio := range []int{0, 4, 16} {
+		app := workloads.BTreeSweep{Inserts: 150, Ratio: ratio}
+		for _, cfg := range runtimeConfigs {
+			b.Run(fmt.Sprintf("btree-r%d/%s", ratio, cfg.name), func(b *testing.B) {
+				benchRunner(b, app, cfg.kind, cfg.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkTable4TLB covers GUPS and BTree-Lookup.
+func BenchmarkTable4TLB(b *testing.B) {
+	for _, app := range workloads.Table4Apps(1) {
+		for _, cfg := range runtimeConfigs {
+			if cfg.opts.Nested {
+				continue // Table 4 is bare-metal
+			}
+			b.Run(app.Name()+"/"+cfg.name, func(b *testing.B) {
+				benchRunner(b, app, cfg.kind, cfg.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Lmbench covers the lmbench rows.
+func BenchmarkFig11Lmbench(b *testing.B) {
+	for _, lc := range workloads.LMBenchCases(1) {
+		for _, cfg := range runtimeConfigs {
+			if cfg.opts.Nested {
+				continue // Fig. 11 is bare-metal
+			}
+			b.Run(lc.CaseName+"/"+cfg.name, func(b *testing.B) {
+				benchRunner(b, lc, cfg.kind, cfg.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14SQLite covers the sqlite-bench cases (and the Fig. 15
+// ablations via the CKI-wo-OPT runtimes).
+func BenchmarkFig14SQLite(b *testing.B) {
+	cfgs := []struct {
+		name string
+		kind backends.Kind
+		opts backends.Options
+	}{
+		{"RunC", backends.RunC, backends.Options{}},
+		{"HVM", backends.HVM, backends.Options{}},
+		{"PVM", backends.PVM, backends.Options{}},
+		{"CKI", backends.CKI, backends.Options{}},
+		{"CKI-wo-OPT2", backends.CKI, backends.Options{WoOPT2: true}},
+		{"CKI-wo-OPT3", backends.CKI, backends.Options{WoOPT3: true}},
+	}
+	for _, sc := range workloads.Fig14Cases(1) {
+		for _, cfg := range cfgs {
+			b.Run(sc.CaseName+"/"+cfg.name, func(b *testing.B) {
+				benchRunner(b, sc, cfg.kind, cfg.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5IOApps covers the I/O-intensive servers.
+func BenchmarkFig5IOApps(b *testing.B) {
+	for _, app := range workloads.Fig5Apps(1) {
+		for _, cfg := range runtimeConfigs {
+			b.Run(app.AppName+"/"+cfg.name, func(b *testing.B) {
+				benchRunner(b, app, cfg.kind, cfg.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig16KV reports saturated closed-loop throughput.
+func BenchmarkFig16KV(b *testing.B) {
+	apps := []struct {
+		app     workloads.KVApp
+		workers int
+	}{
+		{workloads.Memcached(48), 4},
+		{workloads.Redis(48), 1},
+	}
+	for _, a := range apps {
+		for _, cfg := range runtimeConfigs {
+			if cfg.kind == backends.RunC {
+				continue
+			}
+			b.Run(a.app.AppName+"/"+cfg.name, func(b *testing.B) {
+				var ops float64
+				for i := 0; i < b.N; i++ {
+					model, err := bench.ServiceModelFor(a.app, cfg.kind, cfg.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops, _ = des.ClosedLoop{
+						Clients: 128, Workers: a.workers,
+						RTT:     40 * clock.Microsecond,
+						Service: model,
+						Horizon: 20 * clock.Millisecond,
+					}.Throughput()
+				}
+				b.ReportMetric(ops/1000, "k-ops/simsec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2CVE measures the classification pass itself.
+func BenchmarkFig2CVE(b *testing.B) {
+	ds := cve.Dataset()
+	for i := 0; i < b.N; i++ {
+		s := cve.Summarize(ds)
+		if s.Total != 209 {
+			b.Fatal("bad dataset")
+		}
+	}
+}
+
+// BenchmarkTable3Matrix measures the blocking-matrix regeneration.
+func BenchmarkTable3Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Tab3(1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Matrix regenerates the comparison table.
+func BenchmarkTable5Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Tab5(1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// report emits the virtual-time metrics next to Go's wall-clock ns/op.
+func report(b *testing.B, total clock.Time, ops int) {
+	b.Helper()
+	if ops == 0 {
+		return
+	}
+	per := float64(total) / float64(ops) / 1000 // ps → ns
+	b.ReportMetric(per, "simns/op")
+	if total > 0 {
+		b.ReportMetric(float64(ops)/total.Seconds(), "ops/simsec")
+	}
+}

@@ -1,0 +1,52 @@
+// Command ckibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ckibench                 # run every experiment at scale 1
+//	ckibench -exp fig12      # run one experiment
+//	ckibench -scale 4        # larger workloads (slower, smoother)
+//	ckibench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (empty = all)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	everything := append(bench.All(), bench.Extensions()...)
+	if *list {
+		for _, e := range everything {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := func(e bench.Experiment) {
+		fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
+		if err := e.Run(*scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	if *exp != "" {
+		for _, e := range everything {
+			if e.ID == *exp {
+				run(e)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ckibench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	for _, e := range everything {
+		run(e)
+	}
+}

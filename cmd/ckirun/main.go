@@ -1,0 +1,113 @@
+// Command ckirun boots a secure container on a chosen runtime and runs
+// one named workload, printing virtual time, throughput and guest
+// kernel statistics.
+//
+// Usage:
+//
+//	ckirun -runtime cki -workload btree
+//	ckirun -runtime hvm -nested -workload gups
+//	ckirun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/backends"
+	"repro/internal/inspect"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func catalog() map[string]workloads.Runner {
+	m := map[string]workloads.Runner{}
+	for _, a := range workloads.Fig12Apps(1) {
+		m[a.AppName] = a
+	}
+	for _, a := range workloads.Table4Apps(1) {
+		m[strings.ToLower(a.Name())] = a
+	}
+	for _, lc := range workloads.LMBenchCases(1) {
+		m["lmbench-"+lc.CaseName] = lc
+	}
+	for _, sc := range workloads.Fig14Cases(1) {
+		m["sqlite-"+sc.CaseName] = sc
+	}
+	m["memcached"] = workloads.Memcached(256)
+	m["redis"] = workloads.Redis(256)
+	for _, a := range workloads.Fig5Apps(1) {
+		m[a.AppName] = a
+	}
+	return m
+}
+
+func main() {
+	rt := flag.String("runtime", "cki", "runc | hvm | pvm | cki | gvisor")
+	nested := flag.Bool("nested", false, "deploy inside an L1 IaaS VM")
+	wl := flag.String("workload", "btree", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	dump := flag.Bool("dump", false, "dump the active address space after the run")
+	traceN := flag.Int("trace", 0, "record the flow timeline and print its last N events")
+	flag.Parse()
+
+	cat := catalog()
+	if *list {
+		names := make([]string, 0, len(cat))
+		for n := range cat {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	kinds := map[string]backends.Kind{
+		"runc": backends.RunC, "hvm": backends.HVM,
+		"pvm": backends.PVM, "cki": backends.CKI, "gvisor": backends.GVisor,
+	}
+	kind, ok := kinds[strings.ToLower(*rt)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ckirun: unknown runtime %q\n", *rt)
+		os.Exit(2)
+	}
+	runner, ok := cat[strings.ToLower(*wl)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ckirun: unknown workload %q (try -list)\n", *wl)
+		os.Exit(2)
+	}
+	c, err := backends.New(kind, backends.Options{Nested: *nested})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckirun: boot: %v\n", err)
+		os.Exit(1)
+	}
+	if *traceN > 0 {
+		c.K.Trace = trace.New(4096)
+	}
+	res, err := runner.Run(c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("runtime:     %s\n", c.Name)
+	fmt.Printf("workload:    %s\n", res.Workload)
+	fmt.Printf("virtual time:%12v\n", res.Time)
+	fmt.Printf("operations:  %12d  (%.0f ops/s, %v/op)\n", res.Ops, res.OpsPerSec(), res.PerOp())
+	fmt.Printf("syscalls:    %12d\n", res.Syscalls)
+	fmt.Printf("page faults: %12d\n", res.PageFaults)
+	st := c.K.Stats
+	fmt.Printf("guest totals: syscalls=%d pgfaults=%d ptewrites=%d ctxsw=%d hypercalls=%d\n",
+		st.Syscalls, st.PageFaults, st.PTEWrites, st.CtxSwitches, st.Hypercalls)
+	if *dump {
+		fmt.Println()
+		fmt.Print(inspect.Render(c.HostMem, c.CPU.CR3()))
+	}
+	if *traceN > 0 {
+		fmt.Println()
+		fmt.Print(c.K.Trace.Render(*traceN))
+	}
+}

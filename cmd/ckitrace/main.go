@@ -1,0 +1,51 @@
+// Command ckitrace prints the step-by-step cost decomposition of the
+// context-switch flows the paper analyzes (Fig. 8, Fig. 10): which
+// primitive operations compose a syscall, an anonymous page fault, or a
+// hypercall on each runtime, and what each step costs. The
+// decompositions are asserted against live measurements by
+// internal/bench/flows_test.go, so this narrative cannot drift from
+// the mechanism.
+//
+// Usage:
+//
+//	ckitrace -flow pgfault -runtime pvm
+//	ckitrace -flow syscall -runtime all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/clock"
+)
+
+func main() {
+	flow := flag.String("flow", "pgfault", "syscall | pgfault | hypercall")
+	rt := flag.String("runtime", "all", "runc | hvm | hvm-nst | pvm | cki | all")
+	flag.Parse()
+
+	all := bench.Flows(clock.DefaultCosts())
+	fl, ok := all[*flow]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ckitrace: unknown flow %q\n", *flow)
+		os.Exit(2)
+	}
+	names := []string{"runc", "hvm", "hvm-nst", "pvm", "cki"}
+	if *rt != "all" {
+		names = []string{strings.ToLower(*rt)}
+	}
+	for _, n := range names {
+		steps, ok := fl[n]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%s / %s:\n", *flow, n)
+		for _, s := range steps {
+			fmt.Printf("  %-52s %8.0f ns\n", s.Name, s.Cost.Nanos())
+		}
+		fmt.Printf("  %-52s %8.0f ns\n\n", "TOTAL", bench.FlowTotal(steps).Nanos())
+	}
+}

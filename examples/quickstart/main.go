@@ -1,0 +1,68 @@
+// Quickstart: boot a CKI secure container, run a small program against
+// the guest kernel's syscall and memory API, and compare its core
+// latencies with the other container runtimes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backends"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func main() {
+	// Boot a container on the CKI runtime: a deprivileged guest kernel
+	// collocated with its kernel security monitor, PKS keys loaded.
+	c, err := backends.New(backends.CKI, backends.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := c.K
+	fmt.Printf("booted %s (guest kernel pid %d)\n\n", c.Name, k.Getpid())
+
+	// Files on the guest's tmpfs.
+	fd, err := k.Open("/hello.txt", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := k.Write(fd, []byte("hello from inside a secure container")); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Lseek(fd, 0); err != nil {
+		log.Fatal(err)
+	}
+	data, err := k.Read(fd, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", data)
+
+	// Anonymous memory with demand paging. Every mapping operation is
+	// verified by the KSM; every fault is handled inside the container.
+	addr, err := k.MmapCall(64*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 64*mem.PageSize, mmu.Write); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faulted in 64 pages: %d page faults, %d KSM-verified PTE writes\n\n",
+		k.Stats.PageFaults, k.Stats.PTEWrites)
+
+	// Compare the headline latencies across runtimes (Table 2).
+	fmt.Println("getpid / anonymous page fault latency:")
+	for _, cfg := range backends.AllKinds() {
+		cc := backends.MustNew(cfg.Kind, cfg.Opts)
+		pf, err := cc.MeasureAnonFault(32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s  syscall %5.0f ns   pgfault %7.0f ns\n",
+			cc.Name, cc.MeasureSyscall().Nanos(), pf.Nanos())
+	}
+	fmt.Println("\nCKI matches the OS-level container on both paths while keeping")
+	fmt.Println("a separate, deprivileged kernel per container.")
+}

@@ -1,0 +1,361 @@
+// Package backends assembles runnable secure containers for each of the
+// paper's runtimes — RunC (OS-level), HVM (hardware-assisted
+// virtualization, bare-metal or nested), PVM (software-based
+// virtualization), and CKI — on top of the simulated machine.
+//
+// Each backend is a guest.Paravirt implementation: the guest kernel code
+// is identical across runtimes, and every performance and isolation
+// difference comes from how these hooks implement the syscall path, the
+// page-fault path, page-table updates, address-space switches and
+// hypercalls. The per-flow costs are composed from clock.DefaultCosts
+// and are asserted against the paper's Table 2 / Fig. 10 numbers by
+// calibration_test.go.
+package backends
+
+import (
+	"fmt"
+
+	"repro/internal/cki"
+	"repro/internal/clock"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/tlb"
+)
+
+// Kind selects a container runtime.
+type Kind int
+
+// Runtimes.
+const (
+	RunC Kind = iota
+	HVM
+	PVM
+	CKI
+	// GVisor is the userspace-kernel design point of §2.4.3, included
+	// to make the paper's design-space comparison (Fig. 3 / Table 1)
+	// executable; it is not part of the quantitative evaluation set.
+	GVisor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RunC:
+		return "RunC"
+	case HVM:
+		return "HVM"
+	case PVM:
+		return "PVM"
+	case GVisor:
+		return "gVisor"
+	default:
+		return "CKI"
+	}
+}
+
+// Options configures a container.
+type Options struct {
+	// Nested deploys the container inside an L1 IaaS VM (§2.2). It
+	// changes HVM radically (L0 intervention, shadow EPT), PVM and CKI
+	// marginally, and is meaningless for RunC.
+	Nested bool
+	// NumVCPU sizes per-vCPU structures (default 1).
+	NumVCPU int
+	// HostFrames sizes host physical memory (default 1<<16 ≈ 256 MiB).
+	HostFrames int
+	// GuestFrames sizes the gPA space of HVM/PVM guests (default 1<<15).
+	GuestFrames int
+	// SegmentFrames sizes CKI's delegated hPA segment (default 1<<14).
+	SegmentFrames int
+	// TLBEntries overrides the simulated TLB capacity (default: the
+	// tlb package's DefaultCapacity). The TLB-miss-intensive results
+	// of Table 4 scale with it.
+	TLBEntries int
+	// EPTHugePages maps the HVM EPT at 2 MiB granularity (the "huge
+	// page mapping for VM memory" mode of Fig. 12 / Table 4).
+	EPTHugePages bool
+	// WoOPT2 disables CKI's page-table-switch elimination (ablation,
+	// Fig. 10b/15): two page-table switches are added per syscall.
+	WoOPT2 bool
+	// WoOPT3 blocks sysret/swapgs in the CKI guest (ablation): the
+	// syscall exit detours through the KSM.
+	WoOPT3 bool
+	// EmulatePVMSyscall adds PVM's syscall redirection latency on top
+	// of CKI (the §7.3 attribution experiment).
+	EmulatePVMSyscall bool
+	// HardenKSMGate re-adds the PTI-class flush and IBRS barrier to the
+	// KSM call gate — the side-channel mitigations §3.3 eliminates
+	// because only container-private data is mapped in the KSM. An
+	// ablation quantifying what that elimination saves.
+	HardenKSMGate bool
+	// DesignPKU models the rejected alternative of §3.1: the guest
+	// kernel deprivileged to user mode behind PKU instead of kernel
+	// mode behind PKS. Syscalls pay wrpkru domain switches and host-
+	// injected exceptions pay extra cross-ring switches (~750ns on the
+	// paper's testbed).
+	DesignPKU bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumVCPU == 0 {
+		o.NumVCPU = 1
+	}
+	if o.HostFrames == 0 {
+		o.HostFrames = 1 << 16
+	}
+	if o.GuestFrames == 0 {
+		o.GuestFrames = 1 << 15
+	}
+	if o.SegmentFrames == 0 {
+		o.SegmentFrames = 1 << 14
+	}
+	return o
+}
+
+// Container is a booted secure container: a guest kernel with one init
+// process, ready to run workloads.
+type Container struct {
+	Kind  Kind
+	Opts  Options
+	Name  string
+	Costs *clock.Costs
+	Clk   *clock.Clock
+	CPU   *hw.CPU
+	Host  *host.Kernel
+	// HostMem is the machine's physical memory.
+	HostMem *mem.PhysMem
+	// MMU is the host-side MMU (also the guest's under RunC/PVM/CKI,
+	// whose translations are single-stage over host memory).
+	MMU *mmu.Unit
+	// K is the guest kernel; workloads run against it.
+	K *guest.Kernel
+
+	pv backendPV
+}
+
+// backendPV extends guest.Paravirt with backend-level services the
+// harness needs.
+type backendPV interface {
+	guest.Paravirt
+	internalPV
+	// DeliverVirtIRQ models a virtual interrupt (e.g. virtio completion)
+	// reaching the guest, charging the runtime's delivery flow.
+	DeliverVirtIRQ(k *guest.Kernel)
+	// KickCost charges one virtio notification through the runtime's
+	// transport (MMIO exit vs hypercall) and returns nil on success.
+	VirtioKick(k *guest.Kernel) error
+}
+
+// Machine is the shared physical substrate containers are booted on:
+// one host kernel, one physical memory, one core. New creates a private
+// machine per container; NewCluster shares one among many.
+type Machine struct {
+	Costs   *clock.Costs
+	Clk     *clock.Clock
+	HostMem *mem.PhysMem
+	Host    *host.Kernel
+	CPU     *hw.CPU
+	MMU     *mmu.Unit
+}
+
+// NewMachine builds a machine. The CPU always carries the PKS hardware
+// extensions: they are inert while PKRS is zero, so non-CKI runtimes
+// behave identically on it.
+func NewMachine(hostFrames, tlbEntries int) (*Machine, error) {
+	if hostFrames <= 0 {
+		hostFrames = 1 << 16
+	}
+	costs := clock.DefaultCosts()
+	hostMem := mem.New(hostFrames)
+	hk, err := host.New(hostMem, costs)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Costs:   costs,
+		Clk:     new(clock.Clock),
+		HostMem: hostMem,
+		Host:    hk,
+		CPU:     hw.NewCPU(0, true),
+		MMU:     mmu.New(hostMem, costs),
+	}
+	if tlbEntries > 0 {
+		m.MMU.TLB = tlb.New(tlbEntries)
+	}
+	m.CPU.SetTLBHooks(m.MMU.Hooks())
+	return m, nil
+}
+
+// New boots a container of the given kind on its own private machine.
+func New(kind Kind, opts Options) (*Container, error) {
+	opts = opts.withDefaults()
+	m, err := NewMachine(opts.HostFrames, opts.TLBEntries)
+	if err != nil {
+		return nil, err
+	}
+	return NewOnMachine(m, kind, opts, 1)
+}
+
+// NewOnMachine boots a container with the given ID on a shared machine.
+func NewOnMachine(m *Machine, kind Kind, opts Options, containerID int) (*Container, error) {
+	opts = opts.withDefaults()
+	c := &Container{
+		Kind:    kind,
+		Opts:    opts,
+		Costs:   m.Costs,
+		Clk:     m.Clk,
+		Host:    m.Host,
+		HostMem: m.HostMem,
+		MMU:     m.MMU,
+		CPU:     m.CPU,
+	}
+	c.Name = kind.String()
+	if kind != RunC && kind != GVisor {
+		if opts.Nested {
+			c.Name += "-NST"
+		} else {
+			c.Name += "-BM"
+		}
+	}
+	// Boot runs in host context.
+	c.CPU.SetMode(hw.ModeKernel)
+	if f := c.CPU.Wrpkrs(0); f != nil {
+		return nil, f
+	}
+	var pv backendPV
+	var err error
+	switch kind {
+	case RunC:
+		pv = newRunCPV(c)
+	case HVM:
+		pv, err = newHVMPV(c, containerID)
+	case PVM:
+		pv, err = newPVMPV(c, containerID)
+	case CKI:
+		pv, err = newCKIPV(c, containerID)
+	case GVisor:
+		pv, err = newGVisorPV(c, containerID)
+	default:
+		return nil, fmt.Errorf("backends: unknown kind %d", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("backends: booting %s: %w", c.Name, err)
+	}
+	c.pv = pv
+	c.K = guest.New(pv, c.CPU, c.Clk, m.Costs, pv.guestMemory(), containerID)
+	if err := pv.boot(c.K); err != nil {
+		return nil, fmt.Errorf("backends: boot hook for %s: %w", c.Name, err)
+	}
+	if _, err := c.K.StartInit(); err != nil {
+		return nil, fmt.Errorf("backends: init process for %s: %w", c.Name, err)
+	}
+	c.CPU.SetMode(hw.ModeUser)
+	return c, nil
+}
+
+// Activate restores this container's CPU context after another
+// container (or the host) ran on the shared core: the host scheduler's
+// world switch plus the runtime's address-space reload.
+func (c *Container) Activate() error {
+	c.Clk.Advance(c.Costs.RegsSwap + c.Costs.ModeSwitch)
+	c.CPU.SetMode(hw.ModeKernel)
+	if c.CPU.PKSExt {
+		if f := c.CPU.Wrpkrs(0); f != nil {
+			return f
+		}
+	}
+	if b, ok := c.pv.(*ckiPV); ok {
+		if err := b.hostActivate(c.K); err != nil {
+			return err
+		}
+	} else if err := c.pv.SwitchAS(c.K, c.K.Cur.AS); err != nil {
+		return err
+	}
+	c.CPU.SetMode(hw.ModeUser)
+	return nil
+}
+
+// MustNew is New, panicking on error (benchmarks and examples).
+func MustNew(kind Kind, opts Options) *Container {
+	c, err := New(kind, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CKIInternals exposes the KSM, call gate and switcher of a CKI
+// container for security experiments; ok is false for other runtimes.
+func (c *Container) CKIInternals() (ksm *cki.KSM, gate *cki.Gate, sw *cki.Switcher, ok bool) {
+	b, isCKI := c.pv.(*ckiPV)
+	if !isCKI {
+		return nil, nil, nil, false
+	}
+	return b.ksm, b.gate, b.sw, true
+}
+
+// MigrateVCPU moves the container's execution to another virtual CPU.
+// Under CKI this reloads CR3 with that vCPU's per-vCPU top-level copy
+// (the Fig. 8c machinery); other runtimes just pay the migration cost.
+func (c *Container) MigrateVCPU(v int) error {
+	if v < 0 || v >= c.Opts.NumVCPU {
+		return fmt.Errorf("backends: vCPU %d out of range (%d configured)", v, c.Opts.NumVCPU)
+	}
+	c.Clk.Advance(c.Costs.RegsSwap + c.Costs.PTSwitchNoPTI)
+	if b, ok := c.pv.(*ckiPV); ok {
+		b.vcpu = v
+		b.gate.VCPU = v
+		// The migration runs in kernel context (it is the host's
+		// scheduler moving the vCPU thread).
+		mode := c.CPU.Mode()
+		c.CPU.SetMode(hw.ModeKernel)
+		defer c.CPU.SetMode(mode)
+		return b.SwitchAS(c.K, c.K.Cur.AS)
+	}
+	return nil
+}
+
+// VCPU reports the container's current virtual CPU.
+func (c *Container) VCPU() int {
+	if b, ok := c.pv.(*ckiPV); ok {
+		return b.vcpu
+	}
+	return 0
+}
+
+// DeliverVirtIRQ exposes the runtime's virtual-interrupt delivery flow.
+func (c *Container) DeliverVirtIRQ() { c.pv.DeliverVirtIRQ(c.K) }
+
+// VirtioKick charges one virtio doorbell through the runtime transport.
+func (c *Container) VirtioKick() error { return c.pv.VirtioKick(c.K) }
+
+// AllKinds enumerates the standard comparison set used by the paper's
+// figures: HVM-NST, PVM-NST, RunC, HVM-BM, PVM-BM, CKI (BM and NST are
+// identical for CKI's flows; both labels are produced by the harness).
+func AllKinds() []struct {
+	Kind Kind
+	Opts Options
+} {
+	return []struct {
+		Kind Kind
+		Opts Options
+	}{
+		{HVM, Options{Nested: true}},
+		{PVM, Options{Nested: true}},
+		{RunC, Options{}},
+		{HVM, Options{}},
+		{PVM, Options{}},
+		{CKI, Options{}},
+	}
+}
+
+// internalPV is the additional surface each backend implements for
+// container assembly.
+type internalPV interface {
+	// guestMemory returns the physical memory the guest kernel manages.
+	guestMemory() *mem.PhysMem
+	// boot runs once before the init process is created.
+	boot(k *guest.Kernel) error
+}

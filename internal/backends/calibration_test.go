@@ -1,0 +1,129 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// The calibration contract: every composed flow must land within band
+// of the number the paper measured on its EPYC-9654 testbed (Table 2,
+// Fig. 10). These tests are what keeps the reproduction honest when
+// anyone touches clock.DefaultCosts or a backend flow.
+
+const calibrationTolerance = 0.12 // ±12%
+
+func within(t *testing.T, name string, got clock.Time, wantNs float64) {
+	t.Helper()
+	g := got.Nanos()
+	lo, hi := wantNs*(1-calibrationTolerance), wantNs*(1+calibrationTolerance)
+	if g < lo || g > hi {
+		t.Errorf("%s = %.0fns, want %.0fns ±%.0f%% (paper)", name, g, wantNs, calibrationTolerance*100)
+	} else {
+		t.Logf("%s = %.0fns (paper: %.0fns)", name, g, wantNs)
+	}
+}
+
+// Table 2, syscall row (plus Fig. 10b ablations).
+func TestCalibrationSyscall(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		opts Options
+		want float64
+	}{
+		{"RunC", RunC, Options{}, 93},
+		{"HVM-BM", HVM, Options{}, 91},
+		{"HVM-NST", HVM, Options{Nested: true}, 91},
+		{"PVM", PVM, Options{}, 336},
+		{"PVM-NST", PVM, Options{Nested: true}, 336},
+		{"CKI", CKI, Options{}, 90},
+		{"CKI-wo-OPT2", CKI, Options{WoOPT2: true}, 238},
+		{"CKI-wo-OPT3", CKI, Options{WoOPT3: true}, 153},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.kind, tc.opts)
+			within(t, tc.name+" syscall", c.MeasureSyscall(), tc.want)
+		})
+	}
+}
+
+// Fig. 10a, anonymous page-fault latency.
+func TestCalibrationAnonPageFault(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		opts Options
+		want float64
+	}{
+		{"RunC", RunC, Options{}, 1000},
+		{"HVM-BM", HVM, Options{}, 3257},
+		{"HVM-NST", HVM, Options{Nested: true}, 32565},
+		{"PVM", PVM, Options{}, 4407},
+		{"CKI", CKI, Options{}, 1067},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.kind, tc.opts)
+			got, err := c.MeasureAnonFault(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			within(t, tc.name+" anon pgfault", got, tc.want)
+		})
+	}
+}
+
+// Table 2, pgfault row (file-backed, lmbench-style).
+func TestCalibrationFileFault(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		opts Options
+		want float64
+	}{
+		{"RunC", RunC, Options{}, 1000},
+		{"HVM-BM", HVM, Options{}, 4347},
+		{"HVM-NST", HVM, Options{Nested: true}, 34050},
+		{"PVM", PVM, Options{}, 6727},
+		{"PVM-NST", PVM, Options{Nested: true}, 7346},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.kind, tc.opts)
+			got, err := c.MeasureFileFault(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			within(t, tc.name+" file pgfault", got, tc.want)
+		})
+	}
+}
+
+// Table 2, hypercall row (§7.1 "VM exit in nested cloud").
+func TestCalibrationHypercall(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		opts Options
+		want float64
+	}{
+		{"HVM-BM", HVM, Options{}, 1088},
+		{"HVM-NST", HVM, Options{Nested: true}, 6746},
+		{"PVM", PVM, Options{}, 466},
+		{"PVM-NST", PVM, Options{Nested: true}, 486},
+		{"CKI", CKI, Options{}, 390},
+		{"CKI-NST", CKI, Options{Nested: true}, 390},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.kind, tc.opts)
+			got, err := c.MeasureHypercall()
+			if err != nil {
+				t.Fatal(err)
+			}
+			within(t, tc.name+" hypercall", got, tc.want)
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package backends
+
+import (
+	"fmt"
+)
+
+// Cluster hosts multiple co-resident containers on one shared machine —
+// one host kernel, one physical memory, one core — the deployment shape
+// the paper's density and isolation arguments are about. Containers are
+// time-shared: Run switches the core to a container (a host-level world
+// switch plus the runtime's context reload) and executes work there.
+type Cluster struct {
+	M          *Machine
+	Containers []*Container
+	active     int
+}
+
+// NewCluster creates a shared machine for co-resident containers.
+func NewCluster(hostFrames int) (*Cluster, error) {
+	m, err := NewMachine(hostFrames, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{M: m, active: -1}, nil
+}
+
+// Add boots one more container on the shared machine and returns it.
+// Container IDs are assigned sequentially from 1, which keys frame
+// ownership, PCID groups, and (for CKI) the per-container KSM.
+func (cl *Cluster) Add(kind Kind, opts Options) (*Container, error) {
+	id := len(cl.Containers) + 1
+	c, err := NewOnMachine(cl.M, kind, opts, id)
+	if err != nil {
+		return nil, err
+	}
+	cl.Containers = append(cl.Containers, c)
+	cl.active = len(cl.Containers) - 1
+	return c, nil
+}
+
+// Run switches the core to container i and executes fn against it.
+func (cl *Cluster) Run(i int, fn func(c *Container) error) error {
+	if i < 0 || i >= len(cl.Containers) {
+		return fmt.Errorf("backends: no container %d", i)
+	}
+	c := cl.Containers[i]
+	if cl.active != i {
+		if err := c.Activate(); err != nil {
+			return fmt.Errorf("backends: activating container %d: %w", i+1, err)
+		}
+		cl.active = i
+	}
+	return fn(c)
+}
+
+// RoundRobin interleaves fn across every container for the given number
+// of rounds, paying the world-switch cost at each boundary — the
+// co-residency pattern of a loaded multi-tenant node.
+func (cl *Cluster) RoundRobin(rounds int, fn func(round int, c *Container) error) error {
+	for r := 0; r < rounds; r++ {
+		for i := range cl.Containers {
+			if err := cl.Run(i, func(c *Container) error { return fn(r, c) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

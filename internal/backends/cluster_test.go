@@ -1,0 +1,188 @@
+package backends
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cki"
+	"repro/internal/guest"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagetable"
+)
+
+func TestClusterCoResidentCKI(t *testing.T) {
+	cl, err := NewCluster(1 << 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []*Container
+	for i := 0; i < 4; i++ {
+		c, err := cl.Add(CKI, Options{SegmentFrames: 2048})
+		if err != nil {
+			t.Fatalf("container %d: %v", i, err)
+		}
+		cs = append(cs, c)
+	}
+	// Each container does real work, interleaved on the shared core.
+	addrs := make([]uint64, len(cs))
+	err = cl.RoundRobin(3, func(round int, c *Container) error {
+		k := c.K
+		if round == 0 {
+			a, err := k.MmapCall(16*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+			if err != nil {
+				return err
+			}
+			addrs[k.ContainerID-1] = a
+		}
+		if err := k.TouchRange(addrs[k.ContainerID-1], 16*mem.PageSize, mmu.Write); err != nil {
+			return err
+		}
+		if pid := k.Getpid(); pid != 1 {
+			t.Errorf("container %d getpid = %d", k.ContainerID, pid)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames are strictly partitioned by ownership.
+	for i, c := range cs {
+		pfnI, ok := c.K.Cur.AS.ResidentFrame(addrs[i])
+		if !ok {
+			t.Fatalf("container %d lost its page", i+1)
+		}
+		if owner := cl.M.HostMem.Owner(pfnI); owner != i+1 {
+			t.Errorf("container %d page owned by %d", i+1, owner)
+		}
+	}
+	// No cross-container KSM leakage: container 1's KSM refuses to map
+	// container 2's frame.
+	ksm1, _, _, _ := cs[0].CKIInternals()
+	victim, _ := cs[1].K.Cur.AS.ResidentFrame(addrs[1])
+	pt, err := ksm1.AllocGuestFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ksm1.DeclarePTP(pt, pagetable.LevelPT); err != nil {
+		t.Fatal(err)
+	}
+	err = ksm1.WritePTE(pagetable.LevelPT, pt, 0,
+		pagetable.Make(victim, pagetable.FlagPresent|pagetable.FlagUser|pagetable.FlagNX, 0))
+	if !errors.Is(err, cki.ErrNotOwned) {
+		t.Errorf("cross-container map err = %v, want ErrNotOwned", err)
+	}
+}
+
+func TestClusterTLBIsolationLive(t *testing.T) {
+	// The §4.1 PCID argument with two *live* containers on one core:
+	// container A's invlpg must not evict container B's hot entry.
+	cl, err := NewCluster(1 << 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cl.Add(CKI, Options{SegmentFrames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Add(CKI, Options{SegmentFrames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrA, addrB uint64
+	if err := cl.Run(0, func(c *Container) error {
+		var err error
+		addrA, err = c.K.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+		if err != nil {
+			return err
+		}
+		return c.K.Touch(addrA, mmu.Write)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(1, func(c *Container) error {
+		var err error
+		addrB, err = c.K.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+		if err != nil {
+			return err
+		}
+		return c.K.Touch(addrB, mmu.Write)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pcidB := b.K.Cur.AS.PCID
+	if _, ok := cl.M.MMU.TLB.Lookup(pcidB, addrB); !ok {
+		t.Fatal("container B's entry not cached")
+	}
+	// A flushes addrB's VA (same numeric VA space!) via its own invlpg.
+	if err := cl.Run(0, func(c *Container) error {
+		c.CPU.SetMode(hw.ModeKernel)
+		defer c.CPU.SetMode(hw.ModeUser)
+		return faultErr(c.CPU.Invlpg(addrB))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cl.M.MMU.TLB.Lookup(pcidB, addrB); !ok {
+		t.Error("container A's invlpg evicted container B's TLB entry")
+	}
+	_ = a
+}
+
+func TestClusterMixedRuntimes(t *testing.T) {
+	// CKI and RunC containers co-resident on one host.
+	cl, err := NewCluster(1 << 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Add(CKI, Options{SegmentFrames: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Add(RunC, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RoundRobin(2, func(round int, c *Container) error {
+		fd, err := c.K.Open("/f", round > 0)
+		if err != nil && round == 0 {
+			fd, err = c.K.Open("/f", true)
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := c.K.Write(fd, []byte("x")); err != nil {
+			return err
+		}
+		return c.K.Close(fd)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSharedClockAdvances(t *testing.T) {
+	// Time sharing: work in one container advances the machine clock
+	// that all containers observe — one core, one timeline.
+	cl, err := NewCluster(1 << 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cl.Add(CKI, Options{SegmentFrames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Add(CKI, Options{SegmentFrames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Clk.Now()
+	if err := cl.Run(0, func(c *Container) error {
+		c.K.Getpid()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Clk.Now() == before {
+		t.Error("containers do not share the machine timeline")
+	}
+	_ = a
+}

@@ -1,0 +1,126 @@
+package backends
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// Failure injection: exhausting physical memory must surface as ENOMEM
+// through the guest kernel — never as a panic or silent corruption —
+// and the container must stay usable for work that still fits.
+
+func TestGuestOOMGraceful(t *testing.T) {
+	for _, cfg := range []struct {
+		kind Kind
+		opts Options
+	}{
+		{RunC, Options{HostFrames: 1 << 11}},
+		{HVM, Options{GuestFrames: 1 << 11}},
+		{PVM, Options{GuestFrames: 1 << 11}},
+	} {
+		cfg := cfg
+		c := MustNew(cfg.kind, cfg.opts)
+		t.Run(c.Name, func(t *testing.T) {
+			k := c.K
+			addr, err := k.MmapCall(1<<14*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lastErr error
+			touched := 0
+			for i := 0; i < 1<<14; i++ {
+				if err := k.Touch(addr+uint64(i)*mem.PageSize, mmu.Write); err != nil {
+					lastErr = err
+					break
+				}
+				touched++
+			}
+			if !errors.Is(lastErr, guest.ENOMEM) {
+				t.Fatalf("after %d pages err = %v, want ENOMEM", touched, lastErr)
+			}
+			if touched == 0 {
+				t.Fatal("no page could be touched at all")
+			}
+			// The container still executes syscalls and reuses memory
+			// it already owns.
+			if pid := k.Getpid(); pid != 1 {
+				t.Errorf("getpid = %d after OOM", pid)
+			}
+			if err := k.Touch(addr, mmu.Write); err != nil {
+				t.Errorf("resident page lost after OOM: %v", err)
+			}
+			// Releasing memory makes allocation work again.
+			if err := k.MunmapCall(addr, 1<<14*mem.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			addr2, err := k.MmapCall(8*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.TouchRange(addr2, 8*mem.PageSize, mmu.Write); err != nil {
+				t.Errorf("allocation after release failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestCKIHotplugExhaustion(t *testing.T) {
+	// CKI grows via HcMemExtend until the *host* runs dry; then the
+	// guest sees ENOMEM.
+	c := MustNew(CKI, Options{HostFrames: 1 << 12, SegmentFrames: 512})
+	k := c.K
+	addr, err := k.MmapCall(1<<14*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 1<<14; i++ {
+		if lastErr = k.Touch(addr+uint64(i)*mem.PageSize, mmu.Write); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, guest.ENOMEM) {
+		t.Fatalf("err = %v, want ENOMEM", lastErr)
+	}
+	if c.Host.Stats.Hypercalls == 0 {
+		t.Error("no hotplug attempts before exhaustion")
+	}
+	if pid := k.Getpid(); pid != 1 {
+		t.Errorf("container dead after host OOM: getpid = %d", pid)
+	}
+}
+
+func TestBootFailsCleanlyWithoutMemory(t *testing.T) {
+	// A host too small to even boot a container must fail with an
+	// error, not a panic.
+	if _, err := New(CKI, Options{HostFrames: 64}); err == nil {
+		t.Error("CKI boot succeeded with 64 host frames")
+	}
+	if _, err := New(HVM, Options{GuestFrames: 8}); err == nil {
+		t.Error("HVM boot succeeded with 8 guest frames")
+	}
+}
+
+func TestForkUnderMemoryPressure(t *testing.T) {
+	c := MustNew(RunC, Options{HostFrames: 1 << 11})
+	k := c.K
+	addr, err := k.MmapCall(900*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 900*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	// An eager fork cannot duplicate 900 pages in a 2048-frame host.
+	if _, err := k.Fork(); !errors.Is(err, guest.ENOMEM) {
+		t.Fatalf("fork err = %v, want ENOMEM", err)
+	}
+	// COW fork shares instead of copying and succeeds.
+	if _, err := k.ForkCOW(); err != nil {
+		t.Fatalf("COW fork under pressure: %v", err)
+	}
+}

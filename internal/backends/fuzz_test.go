@@ -1,0 +1,229 @@
+package backends
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// Cross-runtime memory-management fuzzing: a random interleaving of
+// mmap/munmap/mprotect/touch/brk/fork must behave identically on every
+// runtime (modulo virtual time), and a shadow model predicts every
+// outcome — so shadow paging, EPT population and KSM-verified tables
+// can never drift from the VMA truth.
+
+type shadowRegion struct {
+	start, end uint64
+	write      bool
+}
+
+type shadowModel struct {
+	regions []shadowRegion
+}
+
+func (s *shadowModel) find(va uint64) *shadowRegion {
+	for i := range s.regions {
+		r := &s.regions[i]
+		if va >= r.start && va < r.end {
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *shadowModel) drop(start, end uint64) {
+	var keep []shadowRegion
+	for _, r := range s.regions {
+		if r.start >= start && r.end <= end {
+			continue
+		}
+		keep = append(keep, r)
+	}
+	s.regions = keep
+}
+
+func TestMMFuzzAcrossRuntimes(t *testing.T) {
+	for _, cfg := range []struct {
+		kind Kind
+		opts Options
+	}{
+		{RunC, Options{}},
+		{HVM, Options{}},
+		{HVM, Options{Nested: true}},
+		{PVM, Options{}},
+		{CKI, Options{}},
+	} {
+		cfg := cfg
+		c := MustNew(cfg.kind, cfg.opts)
+		t.Run(c.Name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			k := c.K
+			var model shadowModel
+			const maxRegions = 12
+			for op := 0; op < 600; op++ {
+				switch r.Intn(8) {
+				case 0, 1: // mmap
+					if len(model.regions) >= maxRegions {
+						continue
+					}
+					pages := uint64(1 + r.Intn(6))
+					prot := guest.ProtRead
+					write := r.Intn(2) == 0
+					if write {
+						prot |= guest.ProtWrite
+					}
+					addr, err := k.MmapCall(pages*mem.PageSize, prot, nil, false)
+					if err != nil {
+						t.Fatalf("op %d mmap: %v", op, err)
+					}
+					model.regions = append(model.regions,
+						shadowRegion{start: addr, end: addr + pages*mem.PageSize, write: write})
+				case 2: // munmap a whole region
+					if len(model.regions) == 0 {
+						continue
+					}
+					reg := model.regions[r.Intn(len(model.regions))]
+					if err := k.MunmapCall(reg.start, reg.end-reg.start); err != nil {
+						t.Fatalf("op %d munmap: %v", op, err)
+					}
+					model.drop(reg.start, reg.end)
+				case 3: // mprotect a whole region
+					if len(model.regions) == 0 {
+						continue
+					}
+					i := r.Intn(len(model.regions))
+					reg := &model.regions[i]
+					reg.write = !reg.write
+					prot := guest.ProtRead
+					if reg.write {
+						prot |= guest.ProtWrite
+					}
+					if err := k.MprotectCall(reg.start, reg.end-reg.start, prot); err != nil {
+						t.Fatalf("op %d mprotect: %v", op, err)
+					}
+				default: // touch somewhere (mapped or not)
+					var va uint64
+					if len(model.regions) > 0 && r.Intn(4) != 0 {
+						reg := model.regions[r.Intn(len(model.regions))]
+						va = reg.start + uint64(r.Intn(int((reg.end-reg.start)/mem.PageSize)))*mem.PageSize
+					} else {
+						va = guest.UserMmapBase + uint64(r.Intn(1<<20))*mem.PageSize*3
+					}
+					acc := mmu.Read
+					if r.Intn(2) == 0 {
+						acc = mmu.Write
+					}
+					err := k.Touch(va, acc)
+					reg := model.find(va)
+					switch {
+					case reg == nil:
+						if !errors.Is(err, guest.EFAULT) {
+							t.Fatalf("op %d: touch unmapped %#x err = %v, want EFAULT", op, va, err)
+						}
+					case acc == mmu.Write && !reg.write:
+						if !errors.Is(err, guest.EFAULT) {
+							t.Fatalf("op %d: write to RO %#x err = %v, want EFAULT", op, va, err)
+						}
+					default:
+						if err != nil {
+							t.Fatalf("op %d: legal touch %#x failed: %v", op, va, err)
+						}
+					}
+				}
+			}
+			// End state: everything mapped must still be reachable with
+			// its declared rights.
+			for _, reg := range model.regions {
+				for va := reg.start; va < reg.end; va += mem.PageSize {
+					if err := k.Touch(va, mmu.Read); err != nil {
+						t.Fatalf("final read %#x: %v", va, err)
+					}
+					err := k.Touch(va, mmu.Write)
+					if reg.write && err != nil {
+						t.Fatalf("final write %#x: %v", va, err)
+					}
+					if !reg.write && !errors.Is(err, guest.EFAULT) {
+						t.Fatalf("final write to RO %#x err = %v", va, err)
+					}
+				}
+			}
+			// For CKI: no rejection may have been triggered by this
+			// perfectly legal workload.
+			if ksm, _, _, ok := c.CKIInternals(); ok && ksm.Stats.Rejections != 0 {
+				t.Errorf("legal fuzz workload caused %d KSM rejections", ksm.Stats.Rejections)
+			}
+		})
+	}
+}
+
+func TestForkFuzz(t *testing.T) {
+	// Random fork/exit/switch storms must preserve process bookkeeping
+	// on every runtime.
+	for _, cfg := range []struct {
+		kind Kind
+	}{{RunC}, {HVM}, {PVM}, {CKI}} {
+		cfg := cfg
+		c := MustNew(cfg.kind, Options{})
+		t.Run(c.Name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			k := c.K
+			addr, err := k.MmapCall(4*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.TouchRange(addr, 4*mem.PageSize, mmu.Write); err != nil {
+				t.Fatal(err)
+			}
+			live := []int{k.Cur.PID}
+			for op := 0; op < 60; op++ {
+				switch r.Intn(3) {
+				case 0:
+					if len(live) >= 6 {
+						continue
+					}
+					pid, err := k.Fork()
+					if err != nil {
+						t.Fatalf("fork: %v", err)
+					}
+					live = append(live, pid)
+				case 1:
+					if len(live) < 2 {
+						continue
+					}
+					// Switch to a random live process and exit it
+					// (never PID of init).
+					idx := 1 + r.Intn(len(live)-1)
+					pid := live[idx]
+					if err := k.SwitchToPID(pid); err != nil {
+						t.Fatalf("switch: %v", err)
+					}
+					if err := k.Exit(0); err != nil {
+						t.Fatalf("exit: %v", err)
+					}
+					live = append(live[:idx], live[idx+1:]...)
+				default:
+					target := live[r.Intn(len(live))]
+					if err := k.SwitchToPID(target); err != nil {
+						t.Fatalf("switch to %d: %v", target, err)
+					}
+					if err := k.Touch(addr, mmu.Write); err != nil {
+						t.Fatalf("touch in pid %d: %v", k.Cur.PID, err)
+					}
+				}
+			}
+			// Drain zombies.
+			if err := k.SwitchToPID(live[0]); err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, err := k.Wait(); err != nil {
+					break
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package backends
+
+import (
+	"repro/internal/clock"
+	"repro/internal/guest"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagetable"
+)
+
+// gvisorPV models the userspace-kernel design point of §2.4.3 (gVisor):
+// each container runs on a private Sentry — a kernel reimplemented as
+// an ordinary host process. Application syscalls are intercepted by
+// Systrap (binary-rewritten trampolines) and shipped to the Sentry over
+// IPC, which is why the paper calls them "much slower than native";
+// page faults, by contrast, are handled by the host kernel directly,
+// so gVisor avoids shadow-paging and EPT costs entirely.
+//
+// gVisor is not part of the paper's quantitative evaluation (Table 2 /
+// Fig. 12); it exists here to make the design-space comparison of
+// Fig. 3 / Table 1 executable (bench.Tab1).
+type gvisorPV struct {
+	c  *Container
+	id int
+
+	// Sentry statistics.
+	SystrapRoundTrips uint64
+}
+
+func newGVisorPV(c *Container, id int) (*gvisorPV, error) {
+	return &gvisorPV{c: c, id: id}, nil
+}
+
+func (b *gvisorPV) Name() string               { return "gVisor" }
+func (b *gvisorPV) guestMemory() *mem.PhysMem  { return b.c.HostMem }
+func (b *gvisorPV) boot(k *guest.Kernel) error { return nil }
+
+// systrapLeg is one half of the Systrap interception: trap into the
+// stub, a host context switch to (or from) the Sentry process, and the
+// shared-memory handshake.
+func (b *gvisorPV) systrapLeg() clock.Time {
+	c := b.c.Costs
+	return c.SyscallTrap + c.ModeSwitch + c.PTSwitchNoPTI + c.RegsSwap +
+		clock.FromNanos(sentryWakeNs)
+}
+
+// Sentry software costs (ns).
+const (
+	sentryWakeNs     = 520 // futex-style wakeup + run-queue hop
+	sentryMMNs       = 420 // Sentry mm bookkeeping around a host fault
+	sentrySchedNs    = 300 // Sentry task switch
+	sentryNetstackNs = 900 // user-space network stack per packet
+)
+
+func (b *gvisorPV) SyscallEnter(k *guest.Kernel) {
+	// App → Systrap stub → IPC → Sentry.
+	b.SystrapRoundTrips++
+	k.Clk.Advance(b.systrapLeg())
+	k.CPU.SetMode(hw.ModeUser) // the Sentry is a user process
+}
+
+func (b *gvisorPV) SyscallExit(k *guest.Kernel) {
+	k.Clk.Advance(b.systrapLeg() - b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	k.CPU.SetMode(hw.ModeUser)
+}
+
+func (b *gvisorPV) FaultEnter(k *guest.Kernel) {
+	// The HOST kernel takes the fault; the Sentry is consulted for the
+	// memory layout it registered.
+	k.Clk.Advance(b.c.Costs.ExcTrap + clock.FromNanos(sentryMMNs))
+	k.CPU.SetMode(hw.ModeKernel)
+}
+
+func (b *gvisorPV) FaultExit(k *guest.Kernel) {
+	k.Clk.Advance(b.c.Costs.Iret)
+	k.CPU.SetMode(hw.ModeUser)
+}
+
+func (b *gvisorPV) PFHandlerCost(k *guest.Kernel) clock.Time {
+	return b.c.Costs.PFHandlerHost
+}
+
+func (b *gvisorPV) AllocFrame(k *guest.Kernel) (mem.PFN, error) {
+	return b.c.HostMem.Alloc(k.ContainerID)
+}
+
+func (b *gvisorPV) FreeFrame(k *guest.Kernel, pfn mem.PFN) {
+	_ = b.c.HostMem.Free(pfn)
+}
+
+func (b *gvisorPV) DeclarePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN, level int) error {
+	return nil // host-managed tables
+}
+
+func (b *gvisorPV) RetirePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN) error {
+	return nil
+}
+
+func (b *gvisorPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
+	// The Sentry asks the host to adjust mappings; amortized host-call
+	// share per entry on top of the store itself.
+	k.Clk.Advance(b.c.Costs.PTEWrite + clock.FromNanos(90))
+	pagetable.WriteEntry(b.c.HostMem, ptp, idx, v)
+	return nil
+}
+
+func (b *gvisorPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
+	k.Clk.Advance(b.c.Costs.PTSwitchNoPTI + clock.FromNanos(sentrySchedNs))
+	mode := k.CPU.Mode()
+	k.CPU.SetMode(hw.ModeKernel)
+	defer k.CPU.SetMode(mode)
+	return faultErr(k.CPU.WriteCR3(as.Root, as.PCID))
+}
+
+func (b *gvisorPV) FlushPage(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
+	mode := k.CPU.Mode()
+	k.CPU.SetMode(hw.ModeKernel)
+	defer k.CPU.SetMode(mode)
+	_ = k.CPU.Invlpg(va)
+}
+
+func (b *gvisorPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc mmu.Access) *hw.Fault {
+	_, flt := b.c.MMU.Access(k.Clk, k.CPU, k.CPU.CR3(), va, acc, mmu.Dim1D)
+	return flt
+}
+
+func (b *gvisorPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, error) {
+	// Host services are host syscalls from the Sentry.
+	mode := k.CPU.Mode()
+	k.CPU.SetMode(hw.ModeKernel)
+	defer k.CPU.SetMode(mode)
+	k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	return b.c.Host.Hypercall(k.Clk, nr, args...)
+}
+
+func (b *gvisorPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
+	return clock.FromNanos(260) // Sentry file-region registration
+}
+
+func (b *gvisorPV) DeliverVirtIRQ(k *guest.Kernel) {
+	// Packet → host IRQ → Sentry wakeup → netstack processing.
+	b.c.Host.HandleIRQ(k.Clk, hw.VectorVirtIO)
+	k.Clk.Advance(clock.FromNanos(sentryWakeNs + sentryNetstackNs))
+}
+
+func (b *gvisorPV) DeliverTimerIRQ(k *guest.Kernel) {
+	// Host tick wakes the Sentry, which reschedules its tasks.
+	b.c.Host.HandleIRQ(k.Clk, hw.VectorTimer)
+	k.Clk.Advance(clock.FromNanos(sentryWakeNs + sentrySchedNs))
+}
+
+func (b *gvisorPV) VirtioKick(k *guest.Kernel) error {
+	// TX through the Sentry netstack and a host sendmsg.
+	k.Clk.Advance(clock.FromNanos(sentryNetstackNs) +
+		b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	_, err := b.c.Host.Hypercall(k.Clk, hostKickNr)
+	return err
+}
+
+const hostKickNr = 5 // host.HcVirtioKick

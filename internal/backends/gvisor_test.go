@@ -1,0 +1,84 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func TestGVisorSyscallInterception(t *testing.T) {
+	g := MustNew(GVisor, Options{})
+	r := MustNew(RunC, Options{})
+	gv, rc := g.MeasureSyscall().Nanos(), r.MeasureSyscall().Nanos()
+	// Systrap + IPC makes syscalls an order of magnitude slower than
+	// native (§2.4.3 "much slower than native syscalls").
+	if gv < 10*rc {
+		t.Errorf("gVisor syscall = %.0fns vs native %.0fns, want >= 10x", gv, rc)
+	}
+	b := g.pv.(*gvisorPV)
+	if b.SystrapRoundTrips == 0 {
+		t.Error("no Systrap round trips recorded")
+	}
+}
+
+func TestGVisorFaultsNearNative(t *testing.T) {
+	// "gVisor lets the host kernel handle the application page faults,
+	// avoiding the overhead of shadow paging" — faults must be close to
+	// RunC and far below PVM.
+	g := MustNew(GVisor, Options{})
+	r := MustNew(RunC, Options{})
+	p := MustNew(PVM, Options{})
+	gv, err := g.MeasureAnonFault(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := r.MeasureAnonFault(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := p.MeasureAnonFault(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := gv.Nanos() / rc.Nanos(); ratio > 1.6 {
+		t.Errorf("gVisor fault = %.2fx native, want close", ratio)
+	}
+	if gv.Nanos() > pv.Nanos()/2 {
+		t.Errorf("gVisor fault %.0fns should be far below PVM %.0fns", gv.Nanos(), pv.Nanos())
+	}
+}
+
+func TestGVisorWorkloadParity(t *testing.T) {
+	// The same program must behave identically on the Sentry.
+	c := MustNew(GVisor, Options{})
+	k := c.K
+	fd, err := k.Open("/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(fd, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := k.MmapCall(8*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 8*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SwitchToPID(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Exit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

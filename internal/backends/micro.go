@@ -1,0 +1,109 @@
+package backends
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// Microbenchmark probes: the measurements behind Table 2 and Fig. 10.
+// Each returns per-operation virtual time measured on the live container.
+
+// MeasureSyscall returns the getpid latency (steady state: the second
+// call, after any first-touch effects).
+func (c *Container) MeasureSyscall() clock.Time {
+	c.K.Getpid()
+	start := c.Clk.Now()
+	c.K.Getpid()
+	return c.Clk.Now() - start
+}
+
+// MeasureAnonFault returns the average anonymous-page demand-fault
+// latency over n sequential first touches of a fresh mmap region — the
+// microbenchmark of Fig. 10a.
+func (c *Container) MeasureAnonFault(n int) (clock.Time, error) {
+	length := uint64(n+1) * mem.PageSize
+	addr, err := c.K.MmapCall(length, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return 0, err
+	}
+	// Warm one fault so allocator and PTP paths are steady.
+	if err := c.K.Touch(addr, mmu.Write); err != nil {
+		return 0, err
+	}
+	start := c.Clk.Now()
+	for i := 1; i <= n; i++ {
+		if err := c.K.Touch(addr+uint64(i)*mem.PageSize, mmu.Write); err != nil {
+			return 0, err
+		}
+	}
+	return (c.Clk.Now() - start) / clock.Time(n), nil
+}
+
+// MeasureFileFault is the lmbench-style page fault on a file-backed
+// mapping (the Table 2 "pgfault" row).
+func (c *Container) MeasureFileFault(n int) (clock.Time, error) {
+	ino, err := c.K.FS.Create(fmt.Sprintf("/pgfault-%d", c.Clk.Now()))
+	if err != nil {
+		return 0, err
+	}
+	length := uint64(n) * mem.PageSize
+	ino.Data = make([]byte, length)
+	addr, err := c.K.MmapCall(length, guest.ProtRead, ino, false)
+	if err != nil {
+		return 0, err
+	}
+	start := c.Clk.Now()
+	for i := 0; i < n; i++ {
+		if err := c.K.Touch(addr+uint64(i)*mem.PageSize, mmu.Read); err != nil {
+			return 0, err
+		}
+	}
+	return (c.Clk.Now() - start) / clock.Time(n), nil
+}
+
+// MeasureHypercall returns the empty-hypercall latency (HcYield body is
+// subtracted so the number isolates the transition, like the paper's
+// "empty hypercall").
+func (c *Container) MeasureHypercall() (clock.Time, error) {
+	if c.Kind == RunC {
+		return 0, fmt.Errorf("RunC has no hypercalls")
+	}
+	if _, err := c.K.Hypercall(host.HcYield); err != nil {
+		return 0, err
+	}
+	start := c.Clk.Now()
+	if _, err := c.K.Hypercall(host.HcYield); err != nil {
+		return 0, err
+	}
+	d := c.Clk.Now() - start
+	// Subtract the host body (timer-class bookkeeping, 90ns).
+	if body := clock.FromNanos(90); d > body {
+		d -= body
+	}
+	return d, nil
+}
+
+// MeasureProtFault measures a write to a read-only page (the guest
+// kernel delivers SIGSEGV; lmbench "prot fault").
+func (c *Container) MeasureProtFault() (clock.Time, error) {
+	addr, err := c.K.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.K.Touch(addr, mmu.Write); err != nil {
+		return 0, err
+	}
+	if err := c.K.MprotectCall(addr, mem.PageSize, guest.ProtRead); err != nil {
+		return 0, err
+	}
+	start := c.Clk.Now()
+	if err := c.K.Touch(addr, mmu.Write); err != guest.EFAULT {
+		return 0, fmt.Errorf("expected EFAULT, got %v", err)
+	}
+	return c.Clk.Now() - start, nil
+}

@@ -1,0 +1,60 @@
+package backends
+
+import (
+	"testing"
+)
+
+// Coverage for the microbenchmark probes themselves (the calibration
+// tests use them; these check their cross-runtime orderings and error
+// behaviour).
+
+func TestMeasureProtFaultOrdering(t *testing.T) {
+	// A protection fault (SIGSEGV delivery) is a round trip into the
+	// guest kernel: native-speed under RunC/HVM/CKI, a shadow-paging
+	// ordeal under PVM.
+	lat := map[Kind]float64{}
+	for _, kind := range []Kind{RunC, HVM, PVM, CKI} {
+		c := MustNew(kind, Options{})
+		v, err := c.MeasureProtFault()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		lat[kind] = v.Nanos()
+	}
+	if lat[PVM] < 2*lat[RunC] {
+		t.Errorf("PVM protfault %.0fns not >> RunC %.0fns", lat[PVM], lat[RunC])
+	}
+	if lat[CKI] > 1.4*lat[RunC] {
+		t.Errorf("CKI protfault %.0fns vs RunC %.0fns, want close", lat[CKI], lat[RunC])
+	}
+}
+
+func TestMeasureHypercallRejectsRunC(t *testing.T) {
+	c := MustNew(RunC, Options{})
+	if _, err := c.MeasureHypercall(); err == nil {
+		t.Error("RunC hypercall measurement succeeded")
+	}
+}
+
+func TestMeasurementsAreSteadyState(t *testing.T) {
+	// Repeated measurement on the same container must be stable (the
+	// probes warm their paths first).
+	c := MustNew(CKI, Options{})
+	a := c.MeasureSyscall()
+	b := c.MeasureSyscall()
+	if a != b {
+		t.Errorf("syscall measurement drifted: %v then %v", a, b)
+	}
+	f1, err := c.MeasureAnonFault(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c.MeasureAnonFault(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(f1-f2) / float64(f1)
+	if diff < -0.05 || diff > 0.05 {
+		t.Errorf("fault measurement drifted: %v then %v", f1, f2)
+	}
+}

@@ -1,0 +1,132 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// Preemptive scheduling: the virtual timer drives round-robin across
+// processes, with the tick delivered through each runtime's interrupt
+// flow (the CKI path goes through the extended-delivery switcher gate).
+
+func TestPreemptionRoundRobin(t *testing.T) {
+	for _, cfg := range []struct {
+		kind Kind
+		opts Options
+	}{{RunC, Options{}}, {HVM, Options{}}, {PVM, Options{}}, {CKI, Options{}}} {
+		cfg := cfg
+		c := MustNew(cfg.kind, cfg.opts)
+		t.Run(c.Name, func(t *testing.T) {
+			k := c.K
+			parent := k.Cur.PID
+			child, err := k.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.EnablePreemption(50 * clock.Microsecond)
+			// Run a CPU-bound loop; the timer must bounce execution
+			// between the two processes.
+			seen := map[int]int{}
+			for i := 0; i < 40; i++ {
+				k.Compute(20 * clock.Microsecond)
+				seen[k.Cur.PID]++
+			}
+			if seen[parent] == 0 || seen[child] == 0 {
+				t.Fatalf("no round robin: %v", seen)
+			}
+			// Roughly fair: neither side starves.
+			if seen[parent] < 10 || seen[child] < 10 {
+				t.Errorf("unfair split: %v", seen)
+			}
+			if k.Stats.TimerTicks == 0 {
+				t.Error("no timer ticks recorded")
+			}
+		})
+	}
+}
+
+func TestPreemptionThroughCKISwitcher(t *testing.T) {
+	c := MustNew(CKI, Options{})
+	ksm, _, _, _ := c.CKIInternals()
+	k := c.K
+	if _, err := k.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	k.EnablePreemption(30 * clock.Microsecond)
+	irqsBefore := ksm.Stats.IRQs
+	for i := 0; i < 20; i++ {
+		k.Compute(20 * clock.Microsecond)
+	}
+	if ksm.Stats.IRQs == irqsBefore {
+		t.Error("CKI ticks bypassed the switcher's interrupt gate")
+	}
+	// Interrupts and PKRS state must be intact afterwards.
+	if !c.CPU.IF() {
+		t.Error("IF left masked after ticks")
+	}
+	if pid := k.Getpid(); pid == 0 {
+		t.Error("container broken after preemption storm")
+	}
+}
+
+func TestVirtualIFDefersTicks(t *testing.T) {
+	c := MustNew(CKI, Options{})
+	k := c.K
+	if _, err := k.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	k.EnablePreemption(20 * clock.Microsecond)
+	// The guest kernel enters a critical section: in-memory vIF off
+	// (the cli/sti replacement — the real cli is PKS-blocked).
+	k.SetInterruptsEnabled(false)
+	before := k.Stats.TimerTicks
+	cur := k.Cur.PID
+	for i := 0; i < 10; i++ {
+		k.Compute(30 * clock.Microsecond)
+	}
+	if k.Stats.TimerTicks != before {
+		t.Error("tick delivered inside critical section")
+	}
+	if k.Cur.PID != cur {
+		t.Error("preempted inside critical section")
+	}
+	if k.VIC.Pending() == 0 {
+		t.Error("no tick deferred")
+	}
+	// Leaving the critical section delivers the deferred tick.
+	k.SetInterruptsEnabled(true)
+	if k.Stats.TimerTicks == before {
+		t.Error("deferred tick lost on sti")
+	}
+}
+
+func TestPreemptionDuringFaultHeavyWork(t *testing.T) {
+	// Ticks interleave with demand paging without corrupting either.
+	c := MustNew(CKI, Options{})
+	k := c.K
+	// Map before forking so both processes share the VMA layout: the
+	// touch loop then faults whichever process is current into its own
+	// private copy, interleaved by the timer.
+	addr, err := k.MmapCall(128*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	k.EnablePreemption(40 * clock.Microsecond)
+	if err := k.TouchRange(addr, 128*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats.TimerTicks == 0 {
+		t.Error("no preemption during fault storm")
+	}
+	ksm, _, _, _ := c.CKIInternals()
+	if ksm.Stats.Rejections != 0 {
+		t.Errorf("preemption caused %d KSM rejections", ksm.Stats.Rejections)
+	}
+}

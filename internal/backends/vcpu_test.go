@@ -1,0 +1,117 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/cki"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagetable"
+)
+
+// Per-vCPU page tables in anger (Fig. 8c): migrating a CKI container
+// between vCPUs must load a *different* top-level copy, the constant
+// per-vCPU address must resolve to that vCPU's own area, translations
+// must stay identical for guest memory, and the KSM must merge A/D bits
+// from every copy.
+
+func TestVCPUMigration(t *testing.T) {
+	c := MustNew(CKI, Options{NumVCPU: 2})
+	k := c.K
+	addr, err := k.MmapCall(4*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 4*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	root0 := c.CPU.CR3()
+	area0, err := pagetable.Translate(c.HostMem, root0, cki.PerVCPUBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.MigrateVCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.VCPU() != 1 {
+		t.Fatalf("VCPU = %d, want 1", c.VCPU())
+	}
+	root1 := c.CPU.CR3()
+	if root0 == root1 {
+		t.Fatal("migration did not switch to the other per-vCPU copy")
+	}
+	area1, err := pagetable.Translate(c.HostMem, root1, cki.PerVCPUBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if area0.PFN == area1.PFN {
+		t.Error("both vCPUs resolve the constant address to the same area")
+	}
+	// Guest memory translates identically through either copy.
+	w0, err := pagetable.Translate(c.HostMem, root0, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := pagetable.Translate(c.HostMem, root1, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0.PFN != w1.PFN {
+		t.Errorf("guest page differs across copies: %v vs %v", w0.PFN, w1.PFN)
+	}
+	// The container keeps working on vCPU 1: syscalls, faults, gates.
+	if pid := k.Getpid(); pid != 1 {
+		t.Errorf("getpid = %d on vCPU 1", pid)
+	}
+	if err := k.TouchRange(addr+2*mem.PageSize, 2*mem.PageSize, mmu.Write); err != nil {
+		t.Errorf("faulting on vCPU 1: %v", err)
+	}
+	// Out-of-range migration is refused.
+	if err := c.MigrateVCPU(5); err == nil {
+		t.Error("migrated to a nonexistent vCPU")
+	}
+}
+
+func TestVCPUADMergeAcrossCopies(t *testing.T) {
+	c := MustNew(CKI, Options{NumVCPU: 2})
+	ksm, _, _, _ := c.CKIInternals()
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch on vCPU 0, then migrate and touch fresh state on vCPU 1:
+	// both copies' top entries accumulate A bits independently.
+	if err := k.Touch(addr, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MigrateVCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(addr, mmu.Read); err != nil {
+		t.Fatal(err)
+	}
+	idx := pagetable.IndexAt(addr, pagetable.LevelPML4)
+	merged, err := ksm.ReadTopEntry(k.Cur.AS.Root, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged&pagetable.FlagAccessed == 0 {
+		t.Error("A bit not visible after merging per-vCPU copies")
+	}
+}
+
+func TestVCPUMigrationOtherRuntimesNoOp(t *testing.T) {
+	for _, kind := range []Kind{RunC, HVM, PVM} {
+		c := MustNew(kind, Options{NumVCPU: 2})
+		root := c.CPU.CR3()
+		if err := c.MigrateVCPU(1); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if c.CPU.CR3() != root {
+			t.Errorf("%v: migration changed CR3", kind)
+		}
+	}
+}

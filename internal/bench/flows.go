@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"repro/internal/clock"
+)
+
+// Flow decompositions: the step-by-step narrative of Fig. 8 / Fig. 10,
+// expressed over the calibrated cost model. cmd/ckitrace renders these;
+// flows_test.go asserts each decomposition sums to the latency the live
+// container measures, so the narrative can never drift from the
+// mechanism.
+
+// FlowStep is one step of a context-switch flow.
+type FlowStep struct {
+	Name string
+	Cost clock.Time
+}
+
+// FlowTotal sums a decomposition.
+func FlowTotal(steps []FlowStep) clock.Time {
+	var t clock.Time
+	for _, s := range steps {
+		t += s.Cost
+	}
+	return t
+}
+
+// Flows returns flow → runtime → decomposition over the given costs.
+func Flows(c *clock.Costs) map[string]map[string][]FlowStep {
+	ns := clock.FromNanos
+	return map[string]map[string][]FlowStep{
+		"syscall": {
+			"runc": {
+				{"syscall trap (incl. swapgs)", c.SyscallTrap},
+				{"seccomp/audit filter", c.HostSyscallExtra},
+				{"handler body (getpid)", c.GetpidWork},
+				{"swapgs + sysret", c.SysretExit},
+			},
+			"hvm": {
+				{"syscall trap inside guest", c.SyscallTrap},
+				{"virtual TSC accounting", c.HVMSyscallExtra},
+				{"handler body (getpid)", c.GetpidWork},
+				{"swapgs + sysret", c.SysretExit},
+			},
+			"pvm": {
+				{"syscall trap to HOST kernel", c.SyscallTrap},
+				{"redirect bookkeeping", c.PVMSyscallDispatch},
+				{"switch to guest-kernel page table", c.PTSwitch},
+				{"return to user-mode guest kernel", c.ModeSwitch},
+				{"handler body (getpid)", c.GetpidWork},
+				{"trap back to host", c.SyscallTrap},
+				{"switch to app page table", c.PTSwitch},
+				{"sysret to application", c.SysretExit},
+			},
+			"cki": {
+				{"syscall trap to guest kernel (same ring path)", c.SyscallTrap},
+				{"handler body (getpid)", c.GetpidWork},
+				{"swapgs + sysret (executable in guest: OPT3)", c.SysretExit},
+			},
+		},
+		"pgfault": {
+			"runc": {
+				{"#PF trap", c.ExcTrap},
+				{"host fault handler (VMA, alloc, rmap)", c.PFHandlerHost},
+				{"zero page", ns(120)},
+				{"PTE write (direct)", c.PTEWrite},
+				{"iret", c.Iret},
+			},
+			"hvm": {
+				{"#PF trap inside guest", c.ExcTrap},
+				{"guest fault handler", c.PFHandlerGuest},
+				{"gPA management extras", c.HVMPFHandlerExtra},
+				{"zero page", ns(120)},
+				{"PTE write (guest-owned table)", c.PTEWrite},
+				{"iret", c.Iret},
+				{"EPT VIOLATION: VM exit", c.VMExit},
+				{"EPT violation service (walk, alloc, map)", c.EPTViolationWork},
+				{"VM entry", c.VMEntry},
+			},
+			"hvm-nst": {
+				{"#PF trap inside L2 guest", c.ExcTrap},
+				{"guest fault handler (+vTLB pressure)", c.PFHandlerGuest + c.HVMPFHandlerExtra + c.HVMNSTPFHandlerExtra},
+				{"zero page + PTE write + iret", ns(120) + c.PTEWrite + c.Iret},
+				{"EPT violation: L2 exit → L0 → L1", c.NestedLegRT},
+				{"L1 shadow-EPT service: VMCS-access round trips", clock.Time(c.SEPTEmulVMCSAccesses) * c.VMCSAccessRT},
+				{"L1 shadow-EPT bookkeeping", c.SEPTEmulWork},
+				{"L1 → L0 → L2 resume", c.NestedLegRT},
+			},
+			"pvm": {
+				{"#PF trap to HOST", c.ExcTrap},
+				{"host walk to classify fault", c.SPTWalk},
+				{"instruction emulation", c.SPTInstrEmu},
+				{"exception injection", c.SPTExcInject},
+				{"switch into user-mode guest kernel (+IBRS)", c.ModeSwitch + c.PTSwitch + c.RegsSwap + c.IBRS + c.PVMExcRTExtra},
+				{"guest fault handler (user mode)", c.PFHandlerGuest + c.PVMPFHandlerExtra},
+				{"zero page", ns(120)},
+				{"PTE update HYPERCALL", 2*(c.ModeSwitch+c.PTSwitch+c.RegsSwap) + c.IBRS + c.PVMHypercallDispatch},
+				{"shadow page-table maintenance", c.SPTMgmt + c.PTEWrite},
+				{"switch back + iret", c.ModeSwitch + c.PTSwitch + c.RegsSwap + c.IBRS + c.PVMExcRTExtra + c.Iret},
+			},
+			"cki": {
+				{"#PF trap to guest kernel (PKRS stays guest)", c.ExcTrap},
+				{"guest fault handler", c.PFHandlerGuest},
+				{"zero page", ns(120)},
+				{"KSM CALL GATE: wrpkrs→0 + check", c.WrPKRSLeg},
+				{"KSM verifies PTE against descriptors", c.KSMPTEVerify},
+				{"PTE write (hPA direct, no gPA translation)", c.PTEWrite},
+				{"gate exit: wrpkrs→PKRS_GUEST + check", c.WrPKRSLeg},
+				{"KSM call for iret: entry leg", c.WrPKRSLeg},
+				{"extended iret (restores PKRS from frame)", c.Iret},
+			},
+		},
+		"hypercall": {
+			"hvm": {
+				{"vmcall: VM exit", c.VMExit},
+				{"KVM exit decode + dispatch", c.KVMDispatch},
+				{"VM entry", c.VMEntry},
+			},
+			"hvm-nst": {
+				{"L2 vmcall → L0 → L1 resume", c.NestedLegRT},
+				{"L1 dispatch", c.KVMDispatch},
+				{"L1 → L0 → L2 resume", c.NestedLegRT},
+			},
+			"pvm": {
+				{"two host↔guest legs", 2 * (c.ModeSwitch + c.PTSwitch + c.RegsSwap)},
+				{"IBRS on host entry", c.IBRS},
+				{"host dispatch", c.PVMHypercallDispatch},
+			},
+			"cki": {
+				{"switcher: wrpkrs legs (no PTI/IBRS in KSM gate)", 2 * c.WrPKRSLeg},
+				{"register file swap", 2 * c.RegsSwap},
+				{"page-table switches (guest ↔ host)", 2 * c.PTSwitch},
+				{"IBRS on host-kernel entry", c.IBRS},
+				{"host request decode", c.HostcallDispatch},
+			},
+		},
+	}
+}

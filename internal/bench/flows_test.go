@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/clock"
+)
+
+// Every ckitrace decomposition must sum to (approximately) what the
+// live container measures — the narrative and the mechanism are the
+// same numbers.
+func TestFlowDecompositionsMatchMeasurements(t *testing.T) {
+	flows := Flows(clock.DefaultCosts())
+	cfg := map[string]struct {
+		kind backends.Kind
+		opts backends.Options
+	}{
+		"runc":    {backends.RunC, backends.Options{}},
+		"hvm":     {backends.HVM, backends.Options{}},
+		"hvm-nst": {backends.HVM, backends.Options{Nested: true}},
+		"pvm":     {backends.PVM, backends.Options{}},
+		"cki":     {backends.CKI, backends.Options{}},
+	}
+	check := func(flow, rt string, measured clock.Time, tolPct float64) {
+		t.Helper()
+		steps, ok := flows[flow][rt]
+		if !ok {
+			return
+		}
+		sum := FlowTotal(steps).Nanos()
+		m := measured.Nanos()
+		if math.Abs(sum-m)/m > tolPct {
+			t.Errorf("%s/%s: decomposition %.0fns vs measured %.0fns (>%.0f%%)",
+				flow, rt, sum, m, tolPct*100)
+		}
+	}
+	for rt, c := range cfg {
+		cont := backends.MustNew(c.kind, c.opts)
+		check("syscall", rt, cont.MeasureSyscall(), 0.02)
+		pf, err := cont.MeasureAnonFault(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The measurement includes the TLB fill of the touched page
+		// (~30-40ns) that the decomposition leaves out.
+		check("pgfault", rt, pf, 0.05)
+		if c.kind != backends.RunC {
+			hc, err := cont.MeasureHypercall()
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("hypercall", rt, hc, 0.03)
+		}
+	}
+	// hvm-nst syscall intentionally reuses the hvm row in ckitrace; the
+	// pgfault/hypercall rows differ and were checked above.
+	if _, ok := flows["syscall"]["hvm-nst"]; ok {
+		t.Error("unexpected hvm-nst syscall flow (should reuse hvm)")
+	}
+}

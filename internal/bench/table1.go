@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/backends"
+	"repro/internal/workloads"
+)
+
+// Tab1 regenerates the paper's Table 1 — the design-space comparison of
+// VM-level container architectures (§2.4, Fig. 3) — with the
+// performance cells *measured* on this simulator instead of hand-graded:
+// a page-fault-intensive app for the memory rows and an un-coalesced
+// request/response server for the I/O rows, each reported as slowdown
+// versus the OS-level container. The libOS columns are qualitative (we
+// do not implement libOS runtimes; their defining property is the
+// *absence* of guest user/kernel isolation).
+func Tab1(scale int, w io.Writer) error {
+	memApp := workloads.Fig12Apps(scale)[0] // btree
+	ioApp := workloads.Fig5Apps(scale)[4]   // netperf-RR
+
+	type cfg struct {
+		name   string
+		kind   backends.Kind
+		nested bool
+	}
+	cols := []cfg{
+		{"HVM", backends.HVM, false},
+		{"PVM", backends.PVM, false},
+		{"gVisor", backends.GVisor, false},
+		{"CKI", backends.CKI, false},
+	}
+	runcMem, err := memApp.Run(backends.MustNew(backends.RunC, backends.Options{}))
+	if err != nil {
+		return err
+	}
+	runcIO, err := ioApp.Run(backends.MustNew(backends.RunC, backends.Options{}))
+	if err != nil {
+		return err
+	}
+	slow := func(kind backends.Kind, nested bool, app workloads.Runner, base workloads.Result) (string, error) {
+		res, err := app.Run(backends.MustNew(kind, backends.Options{Nested: nested}))
+		if err != nil {
+			return "", err
+		}
+		r := float64(res.Time) / float64(base.Time)
+		grade := "good"
+		switch {
+		case r > 3:
+			grade = "bad"
+		case r > 1.25:
+			grade = "fair"
+		}
+		return fmt.Sprintf("%s (%.2fx)", grade, r), nil
+	}
+
+	t := NewTable("Table 1: VM-level container designs (perf cells measured, vs RunC)",
+		"aspect", "HVM", "PVM", "gVisor", "CKI", "LibOS (qualitative)")
+	memRow := []string{"memory-intensive (BM)"}
+	ioRow := []string{"I/O-intensive (BM)"}
+	memNST := []string{"memory-intensive (NST)"}
+	ioNST := []string{"I/O-intensive (NST)"}
+	for _, c := range cols {
+		v, err := slow(c.kind, false, memApp, runcMem)
+		if err != nil {
+			return err
+		}
+		memRow = append(memRow, v)
+		v, err = slow(c.kind, false, ioApp, runcIO)
+		if err != nil {
+			return err
+		}
+		ioRow = append(ioRow, v)
+		nested := c.kind != backends.GVisor // gVisor-in-VM ≈ BM for these paths
+		v, err = slow(c.kind, nested, memApp, runcMem)
+		if err != nil {
+			return err
+		}
+		memNST = append(memNST, v)
+		v, err = slow(c.kind, nested, ioApp, runcIO)
+		if err != nil {
+			return err
+		}
+		ioNST = append(ioNST, v)
+	}
+	t.Row(append(memRow, "good")...)
+	t.Row(append(ioRow, "good")...)
+	t.Row(append(memNST, "good")...)
+	t.Row(append(ioNST, "good")...)
+	t.Row("guest user/kernel isolation", "yes", "yes", "yes", "yes", "NO (single AS)")
+	t.Row("nested-cloud deployment", "often disabled", "yes", "yes", "yes", "yes")
+	t.Row("container binary compat", "yes", "yes", "partial (rewrite)", "yes", "poor")
+	t.Note("paper Table 1; performance cells regenerated from btree / netperf-RR runs")
+	_, err = t.WriteTo(w)
+	return err
+}

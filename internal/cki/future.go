@@ -1,0 +1,162 @@
+package cki
+
+import (
+	"errors"
+
+	"repro/internal/clock"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagetable"
+)
+
+// This file implements the two future-work directions sketched in the
+// paper's §9 on top of the same PKS machinery:
+//
+//   - sandboxing untrusted kernel drivers directly inside ring 0,
+//     instead of deprivileging them to ring 3 as microkernels do;
+//   - running syscall-intensive applications inside the kernel, turning
+//     syscalls into protection-key domain switches.
+
+// KeyDriver tags the core kernel's private memory when a sandboxed
+// driver runs: the driver may read but not corrupt it.
+const KeyDriver = 3
+
+// PKRSDriver is loaded while a sandboxed driver executes: KSM memory
+// inaccessible, PTPs read-only (as for guests), and the core kernel's
+// private data write-disabled.
+var PKRSDriver = PKRSGuest.With(KeyDriver, false, true)
+
+// ErrDriverEscape reports a sandbox violation.
+var ErrDriverEscape = errors.New("cki: driver sandbox violation")
+
+// DriverSandbox isolates an untrusted kernel module inside ring 0. The
+// module runs with PKRSDriver; entry and exit are PKS switch gates, so
+// a call into the driver costs two wrpkrs legs instead of the
+// user-kernel crossings a microkernel-style deprivileged driver pays.
+type DriverSandbox struct {
+	CPU   *hw.CPU
+	Clk   *clock.Clock
+	Costs *clock.Costs
+	MMU   *mmu.Unit
+	// KernelDataVA is a page of core-kernel private state mapped with
+	// KeyDriver, used to demonstrate (and test) the write protection.
+	KernelDataVA uint64
+
+	Stats struct {
+		Calls      uint64
+		Violations uint64
+	}
+}
+
+// Call invokes the driver entry point fn with driver rights and
+// restores full kernel rights afterwards. The driver's memory accesses
+// go through the live MMU, so corruption attempts fault.
+func (d *DriverSandbox) Call(fn func() error) error {
+	d.Stats.Calls++
+	d.Clk.Advance(2 * d.Costs.WrPKRSLeg)
+	saved := d.CPU.PKRS()
+	if flt := d.CPU.Wrpkrs(PKRSDriver); flt != nil {
+		return flt
+	}
+	err := fn()
+	if flt := d.CPU.Wrpkrs(saved); flt != nil {
+		return flt
+	}
+	if d.CPU.PKRS() != saved {
+		return ErrGateAbuse
+	}
+	return err
+}
+
+// DriverWriteKernelData is the attack probe: the driver tries to
+// overwrite core-kernel state. Run inside Call.
+func (d *DriverSandbox) DriverWriteKernelData() error {
+	_, flt := d.MMU.Access(d.Clk, d.CPU, d.CPU.CR3(), d.KernelDataVA, mmu.Write, mmu.Dim1D)
+	if flt != nil {
+		d.Stats.Violations++
+		return ErrDriverEscape
+	}
+	return nil
+}
+
+// DriverReadKernelData verifies the driver's read view stays intact.
+func (d *DriverSandbox) DriverReadKernelData() error {
+	_, flt := d.MMU.Access(d.Clk, d.CPU, d.CPU.CR3(), d.KernelDataVA, mmu.Read, mmu.Dim1D)
+	if flt != nil {
+		return flt
+	}
+	return nil
+}
+
+// MicrokernelCallCost is the comparison baseline: invoking the same
+// driver deprivileged to ring 3 in its own address space (a microkernel
+// server): two ring crossings plus two page-table switches per call.
+func MicrokernelCallCost(c *clock.Costs) clock.Time {
+	return 2*c.ModeSwitch + 2*c.PTSwitch + 2*c.RegsSwap
+}
+
+// SandboxCallCost is the ring-0 PKS sandbox cost per call.
+func SandboxCallCost(c *clock.Costs) clock.Time {
+	return 2 * c.WrPKRSLeg
+}
+
+// NewDriverSandbox builds a sandbox on an existing container address
+// space: it allocates a kernel-private page, maps it with KeyDriver at
+// a fixed kernel address, and returns the sandbox.
+func NewDriverSandbox(cpu *hw.CPU, clk *clock.Clock, costs *clock.Costs, u *mmu.Unit,
+	m *mem.PhysMem, root mem.PFN, owner int) (*DriverSandbox, error) {
+	frame, err := m.Alloc(owner)
+	if err != nil {
+		return nil, err
+	}
+	const va = KSMBase - 0x10_0000 // below the KSM region, kernel half
+	mp := &pagetable.Mapper{
+		Mem:   m,
+		Root:  root,
+		Alloc: func() (mem.PFN, error) { return m.Alloc(owner) },
+		Sink:  pagetable.RawSink(m),
+	}
+	if err := mp.Map(va, frame, pagetable.FlagWritable|pagetable.FlagNX, KeyDriver); err != nil {
+		return nil, err
+	}
+	return &DriverSandbox{
+		CPU: cpu, Clk: clk, Costs: costs, MMU: u,
+		KernelDataVA: va,
+	}, nil
+}
+
+// InKernelApp is the second §9 direction: a syscall-intensive
+// application hosted inside the kernel, isolated from it by PKS. What
+// used to be a syscall (trap, swapgs, sysret) becomes a protection-key
+// domain switch.
+type InKernelApp struct {
+	CPU   *hw.CPU
+	Clk   *clock.Clock
+	Costs *clock.Costs
+
+	Stats struct {
+		Calls uint64
+	}
+}
+
+// SyscallCost is the conventional user-mode syscall latency for the
+// same service body.
+func (a *InKernelApp) SyscallCost(body clock.Time) clock.Time {
+	return a.Costs.SyscallTrap + body + a.Costs.SysretExit
+}
+
+// Call invokes a kernel service from the in-kernel application: two
+// wrpkrs legs around the body, no ring crossing.
+func (a *InKernelApp) Call(body clock.Time) error {
+	a.Stats.Calls++
+	a.Clk.Advance(2*a.Costs.WrPKRSLeg + body)
+	saved := a.CPU.PKRS()
+	if flt := a.CPU.Wrpkrs(0); flt != nil {
+		return flt
+	}
+	if flt := a.CPU.Wrpkrs(saved); flt != nil {
+		return flt
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package cki
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestDriverSandboxIsolation(t *testing.T) {
+	f := newFixture(t)
+	top := f.buildGuestTable(t)
+	copyPFN, err := f.ksm.LoadCR3(0, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the sandbox on the running (copy) table with full rights.
+	if flt := f.cpu.Wrpkrs(0); flt != nil {
+		t.Fatal(flt)
+	}
+	sb, err := NewDriverSandbox(f.cpu, f.clk, f.ksm.Costs, f.gate.MMU,
+		f.m, copyPFN, testContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The core kernel (PKRS=0) can write its own data.
+	if err := sb.DriverWriteKernelData(); err != nil {
+		t.Fatalf("core kernel write failed: %v", err)
+	}
+	// A sandboxed driver can read but not write it.
+	err = sb.Call(func() error {
+		if err := sb.DriverReadKernelData(); err != nil {
+			t.Errorf("driver read failed: %v", err)
+		}
+		return sb.DriverWriteKernelData()
+	})
+	if !errors.Is(err, ErrDriverEscape) {
+		t.Errorf("driver write err = %v, want ErrDriverEscape", err)
+	}
+	if sb.Stats.Violations != 1 {
+		t.Errorf("violations = %d, want 1", sb.Stats.Violations)
+	}
+	// Full rights restored after the call.
+	if f.cpu.PKRS() != 0 {
+		t.Errorf("PKRS after sandbox call = %#x, want 0", f.cpu.PKRS())
+	}
+}
+
+func TestDriverSandboxCheaperThanMicrokernel(t *testing.T) {
+	c := clock.DefaultCosts()
+	sandbox := SandboxCallCost(c)
+	micro := MicrokernelCallCost(c)
+	if sandbox*4 > micro {
+		t.Errorf("sandbox call %v vs microkernel %v, want >=4x cheaper", sandbox, micro)
+	}
+}
+
+func TestInKernelSyscallOptimization(t *testing.T) {
+	f := newFixture(t)
+	f.buildGuestTable(t)
+	app := &InKernelApp{CPU: f.cpu, Clk: f.clk, Costs: f.ksm.Costs}
+	body := clock.FromNanos(20) // getpid-class service
+	syscall := app.SyscallCost(body)
+	start := f.clk.Now()
+	if err := app.Call(body); err != nil {
+		t.Fatal(err)
+	}
+	inKernel := f.clk.Now() - start
+	if inKernel >= syscall {
+		t.Errorf("in-kernel call %v not faster than syscall %v", inKernel, syscall)
+	}
+	// 2 wrpkrs legs (48ns) + body vs trap+sysret (70ns) + body.
+	if got, want := inKernel.Nanos(), 68.0; got != want {
+		t.Errorf("in-kernel call = %.0fns, want %.0f", got, want)
+	}
+	if f.cpu.PKRS() != PKRSGuest {
+		t.Error("PKRS not restored after in-kernel service call")
+	}
+}

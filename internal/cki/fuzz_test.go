@@ -1,0 +1,155 @@
+package cki
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// Property-based testing of the KSM's page-table monitor: no sequence
+// of guest requests — legitimate or hostile — may ever leave the
+// container's tables in a state that violates the nested-kernel
+// invariants of §4.3. The fuzzer drives random operation sequences and
+// re-verifies the global invariants after every accepted operation.
+
+// auditKSM walks every declared PTP and checks the invariants hold.
+func auditKSM(t *testing.T, f *fixture) {
+	t.Helper()
+	refs := map[mem.PFN]int{}
+	for ptp, desc := range f.ksm.ptps {
+		for i := 0; i < mem.WordsPerPage; i++ {
+			e := pagetable.ReadEntry(f.m, ptp, i)
+			if !e.Present() {
+				continue
+			}
+			if desc.level == pagetable.LevelPML4 && (i == KSMPML4Slot || i == PerVCPUPML4Slot) {
+				t.Fatalf("reserved slot %d populated in top PTP %#x", i, uint64(ptp))
+			}
+			if isLeaf(e, desc.level) {
+				for _, fr := range framesOf(e, desc.level) {
+					owner := f.m.Owner(fr)
+					if owner != f.ksm.ContainerID {
+						t.Fatalf("leaf in PTP %#x maps foreign frame %#x (owner %d)",
+							uint64(ptp), uint64(fr), owner)
+					}
+					if _, isPTP := f.ksm.ptps[fr]; isPTP && e.PKey() != KeyPTP {
+						t.Fatalf("PTP %#x mapped without KeyPTP", uint64(fr))
+					}
+					if !e.User() && !e.NX() && !f.ksm.inSealedText(fr) {
+						t.Fatalf("kernel-executable mapping of unsealed frame %#x", uint64(fr))
+					}
+				}
+				continue
+			}
+			child, ok := f.ksm.ptps[e.PFN()]
+			if !ok {
+				t.Fatalf("entry in PTP %#x links undeclared child %#x", uint64(ptp), uint64(e.PFN()))
+			}
+			if child.level != desc.level-1 {
+				t.Fatalf("level confusion: level-%d PTP links level-%d child", desc.level, child.level)
+			}
+			refs[e.PFN()]++
+		}
+	}
+	for ptp, desc := range f.ksm.ptps {
+		if got := refs[ptp]; got != desc.refs {
+			t.Fatalf("refcount drift on PTP %#x: counted %d, recorded %d", uint64(ptp), got, desc.refs)
+		}
+		if desc.refs > 1 {
+			t.Fatalf("PTP %#x mapped %d times", uint64(ptp), desc.refs)
+		}
+	}
+}
+
+func TestKSMInvariantFuzz(t *testing.T) {
+	const ops = 400
+	run := func(seed int64) bool {
+		f := newFixture(t)
+		r := rand.New(rand.NewSource(seed))
+		text, err := f.m.AllocSegment(4, testContainer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ksm.SealKernelText(text)
+		// Pools the fuzzer draws targets from: guest frames (some
+		// declared, some data), one hostile foreign frame, KSM frames.
+		var framePool []mem.PFN
+		for i := 0; i < 24; i++ {
+			p, err := f.ksm.AllocGuestFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			framePool = append(framePool, p)
+		}
+		foreign, err := f.m.Alloc(77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framePool = append(framePool, foreign, f.ksm.descFrame, text.Base)
+
+		pick := func() mem.PFN { return framePool[r.Intn(len(framePool))] }
+		flagPool := []pagetable.PTE{
+			pagetable.FlagPresent | pagetable.FlagUser | pagetable.FlagNX,
+			pagetable.FlagPresent | pagetable.FlagUser | pagetable.FlagWritable | pagetable.FlagNX,
+			pagetable.FlagPresent | pagetable.FlagWritable, // kernel W+X unless NX
+			pagetable.FlagPresent | pagetable.FlagWritable | pagetable.FlagNX,
+			pagetable.FlagPresent | pagetable.FlagUser, // user-exec
+			0, // clear
+		}
+		for op := 0; op < ops; op++ {
+			switch r.Intn(10) {
+			case 0, 1: // declare at a random level
+				_ = f.ksm.DeclarePTP(pick(), 1+r.Intn(4))
+			case 2: // retire
+				_ = f.ksm.Retire(pick())
+			case 3: // CR3 load attempt
+				_, _ = f.ksm.LoadCR3(r.Intn(3), pick())
+			default: // PTE write with random parameters
+				ptp := pick()
+				level := 1 + r.Intn(4)
+				idx := r.Intn(mem.WordsPerPage)
+				v := pagetable.PTE(0)
+				if fl := flagPool[r.Intn(len(flagPool))]; fl != 0 {
+					v = pagetable.Make(pick(), fl, r.Intn(4))
+					if level == 2 && r.Intn(4) == 0 {
+						v |= pagetable.FlagHuge
+					}
+				}
+				_ = f.ksm.WritePTE(level, ptp, idx, v)
+			}
+			if op%40 == 0 {
+				auditKSM(t, f)
+			}
+		}
+		auditKSM(t, f)
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSMFuzzNeverPanics(t *testing.T) {
+	// A shorter, wilder variant: completely random uint64 entries.
+	f := newFixture(t)
+	r := rand.New(rand.NewSource(99))
+	var pool []mem.PFN
+	for i := 0; i < 8; i++ {
+		p, err := f.ksm.AllocGuestFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, p)
+	}
+	for i := range pool {
+		_ = f.ksm.DeclarePTP(pool[i], 1+i%4)
+	}
+	for op := 0; op < 2000; op++ {
+		_ = f.ksm.WritePTE(1+r.Intn(4), pool[r.Intn(len(pool))],
+			r.Intn(mem.WordsPerPage), pagetable.PTE(r.Uint64()))
+	}
+	auditKSM(t, f)
+}

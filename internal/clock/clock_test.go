@@ -1,0 +1,116 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromNanos(93); got != 93*Nanosecond {
+		t.Errorf("FromNanos(93) = %d, want %d", got, 93*Nanosecond)
+	}
+	if got := (336 * Nanosecond).Nanos(); got != 336 {
+		t.Errorf("Nanos() = %v, want 336", got)
+	}
+	if got := (6746 * Nanosecond).Micros(); got != 6.746 {
+		t.Errorf("Micros() = %v, want 6.746", got)
+	}
+	if got := Second.Seconds(); got != 1 {
+		t.Errorf("Seconds() = %v, want 1", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{336 * Nanosecond, "336ns"},
+		{32565 * Nanosecond, "32.56µs"},
+		{55 * Millisecond, "55.00ms"},
+		{55 * Second, "55.00s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", c.Now())
+	}
+	c.Advance(100 * Nanosecond)
+	c.Advance(50 * Nanosecond)
+	if got := c.Now(); got != 150*Nanosecond {
+		t.Errorf("Now() = %d, want %d", got, 150*Nanosecond)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("after Reset Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.AdvanceTo(50) // must not rewind
+	if c.Now() != 100 {
+		t.Errorf("AdvanceTo(50) rewound clock to %d", c.Now())
+	}
+	c.AdvanceTo(200)
+	if c.Now() != 200 {
+		t.Errorf("AdvanceTo(200): Now() = %d", c.Now())
+	}
+}
+
+// Property: advancing by non-negative durations is order-independent in
+// its final sum and never decreases the clock.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		prev := Time(0)
+		var sum Time
+		for _, s := range steps {
+			c.Advance(Time(s))
+			sum += Time(s)
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCostsSanity(t *testing.T) {
+	c := DefaultCosts()
+	// Spot-check the anchors that the paper's microbenchmarks pin down.
+	if got := c.SyscallTrap + c.GetpidWork + c.SysretExit; got != 90*Nanosecond {
+		t.Errorf("native guest syscall = %v, want 90ns", got)
+	}
+	if got := 2*c.NestedLegRT + c.KVMDispatch; got != 6746*Nanosecond {
+		t.Errorf("nested empty hypercall = %v, want 6746ns", got)
+	}
+	if got := c.VMExit + c.KVMDispatch + c.VMEntry; got != 1088*Nanosecond {
+		t.Errorf("HVM-BM hypercall = %v, want 1088ns", got)
+	}
+	if got := c.SPTWalk + c.SPTInstrEmu + c.SPTMgmt + c.SPTExcInject; got != 1828*Nanosecond {
+		t.Errorf("SPT emulation = %v, want 1828ns", got)
+	}
+}

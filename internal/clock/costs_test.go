@@ -1,0 +1,51 @@
+package clock
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDefaultCostsAllNonNegative(t *testing.T) {
+	// A negative cost would make clocks run backwards (Advance panics);
+	// guard every field, including ones added later, via reflection.
+	v := reflect.ValueOf(*DefaultCosts())
+	ty := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int64: // Time fields
+			if f.Int() < 0 {
+				t.Errorf("cost %s = %d < 0", ty.Field(i).Name, f.Int())
+			}
+		case reflect.Int:
+			if f.Int() <= 0 {
+				t.Errorf("count %s = %d, want > 0", ty.Field(i).Name, f.Int())
+			}
+		default:
+			t.Errorf("unexpected field kind %v for %s", f.Kind(), ty.Field(i).Name)
+		}
+	}
+}
+
+func TestCostRelationships(t *testing.T) {
+	c := DefaultCosts()
+	// Structural sanity the flows depend on.
+	if c.TLBMiss2D <= c.TLBMiss1D {
+		t.Error("2-D walks must cost more than 1-D")
+	}
+	if c.TLBMiss1D2M >= c.TLBMiss1D {
+		t.Error("2 MiB walks must be cheaper than 4 KiB (one less level)")
+	}
+	if c.NestedLegRT <= c.VMExit+c.VMEntry {
+		t.Error("an L0-forwarded leg must exceed a plain exit+entry")
+	}
+	if c.PTSwitch <= c.PTSwitchNoPTI {
+		t.Error("PTI must make page-table switches dearer")
+	}
+	if c.WrPKRSLeg >= c.PTSwitch {
+		t.Error("a PKS gate leg must be cheaper than a page-table switch — the paper's core bet")
+	}
+	if c.PFHandlerGuest >= c.PFHandlerHost {
+		t.Error("the container guest kernel's fault handler is the leaner one")
+	}
+}

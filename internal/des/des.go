@@ -1,0 +1,149 @@
+// Package des is a small deterministic discrete-event simulator used to
+// turn per-request service times (measured on the container simulator)
+// into closed-loop throughput curves — the memtier-style experiment of
+// Fig. 16, where N clients each keep one request outstanding against a
+// server with a fixed worker count.
+package des
+
+import (
+	"container/heap"
+
+	"repro/internal/clock"
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   clock.Time
+	seq  int // tie-breaker for determinism
+	fire func(now clock.Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation run.
+type Sim struct {
+	now  clock.Time
+	heap eventHeap
+	seq  int
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() clock.Time { return s.now }
+
+// At schedules fire at absolute time t (clamped to now).
+func (s *Sim) At(t clock.Time, fire func(now clock.Time)) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: t, seq: s.seq, fire: fire})
+}
+
+// After schedules fire after delay d.
+func (s *Sim) After(d clock.Time, fire func(now clock.Time)) {
+	s.At(s.now+d, fire)
+}
+
+// Run processes events until the horizon (or the queue drains).
+func (s *Sim) Run(horizon clock.Time) {
+	for s.heap.Len() > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		if e.at > horizon {
+			s.now = horizon
+			return
+		}
+		s.now = e.at
+		e.fire(s.now)
+	}
+}
+
+// ServiceModel yields the per-request service time as a function of the
+// instantaneous backlog (coalescing makes loaded servers cheaper per
+// request — the virtio suppression effect).
+type ServiceModel func(backlog int) clock.Time
+
+// ClosedLoop describes one Fig. 16-style experiment.
+type ClosedLoop struct {
+	// Clients each keep one request outstanding.
+	Clients int
+	// Workers is the server's concurrency (memcached: several threads;
+	// redis: one).
+	Workers int
+	// RTT is the client↔server network round-trip plus client think
+	// time.
+	RTT clock.Time
+	// Service maps backlog depth to per-request service time.
+	Service ServiceModel
+	// Horizon is the measured interval.
+	Horizon clock.Time
+}
+
+// Throughput runs the closed loop and returns completed requests per
+// (virtual) second and the mean response latency.
+func (cl ClosedLoop) Throughput() (opsPerSec float64, meanLatency clock.Time) {
+	s := &Sim{}
+	type req struct {
+		arrived clock.Time
+	}
+	var (
+		queue     []req
+		busy      int
+		completed int
+		totalLat  clock.Time
+	)
+	var dispatch func(now clock.Time)
+	finish := func(r req) func(now clock.Time) {
+		return func(now clock.Time) {
+			busy--
+			completed++
+			totalLat += now - r.arrived
+			// The client receives the response and, after RTT, sends
+			// the next request.
+			s.After(cl.RTT, func(now clock.Time) {
+				queue = append(queue, req{arrived: now})
+				dispatch(now)
+			})
+			dispatch(now)
+		}
+	}
+	dispatch = func(now clock.Time) {
+		for busy < cl.Workers && len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			busy++
+			// Backlog includes the request being served.
+			st := cl.Service(len(queue) + 1)
+			s.After(st, finish(r))
+		}
+	}
+	// Prime: all clients send at t≈0 (staggered for determinism).
+	for i := 0; i < cl.Clients; i++ {
+		d := clock.Time(i) * clock.Microsecond / 8
+		s.After(d, func(now clock.Time) {
+			queue = append(queue, req{arrived: now})
+			dispatch(now)
+		})
+	}
+	s.Run(cl.Horizon)
+	if completed == 0 {
+		return 0, 0
+	}
+	return float64(completed) / cl.Horizon.Seconds(), totalLat / clock.Time(completed)
+}

@@ -1,0 +1,142 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := &Sim{}
+	var order []int
+	s.After(30*clock.Microsecond, func(clock.Time) { order = append(order, 3) })
+	s.After(10*clock.Microsecond, func(clock.Time) { order = append(order, 1) })
+	s.After(20*clock.Microsecond, func(clock.Time) { order = append(order, 2) })
+	// Same-time events fire in scheduling order.
+	s.After(20*clock.Microsecond, func(clock.Time) { order = append(order, 4) })
+	s.Run(clock.Second)
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	s := &Sim{}
+	fired := false
+	s.After(2*clock.Second, func(clock.Time) { fired = true })
+	s.Run(clock.Second)
+	if fired {
+		t.Error("event past horizon fired")
+	}
+	if s.Now() != clock.Second {
+		t.Errorf("Now = %v, want horizon", s.Now())
+	}
+}
+
+func TestCascadedEvents(t *testing.T) {
+	s := &Sim{}
+	count := 0
+	var tick func(now clock.Time)
+	tick = func(now clock.Time) {
+		count++
+		if count < 10 {
+			s.After(clock.Millisecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run(clock.Second)
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+}
+
+func TestClosedLoopSaturation(t *testing.T) {
+	// Fixed 10µs service, 1 worker → saturation at 100k ops/s.
+	svc := func(int) clock.Time { return 10 * clock.Microsecond }
+	run := func(clients int) float64 {
+		ops, _ := ClosedLoop{
+			Clients: clients,
+			Workers: 1,
+			RTT:     50 * clock.Microsecond,
+			Service: svc,
+			Horizon: 50 * clock.Millisecond,
+		}.Throughput()
+		return ops
+	}
+	low, mid, high := run(1), run(4), run(32)
+	// Ramp: 1 client ≈ 1/(RTT+S) ≈ 16.7k.
+	if low < 14000 || low > 18000 {
+		t.Errorf("1 client = %.0f ops/s, want ~16.7k", low)
+	}
+	if mid < 3*low {
+		t.Errorf("4 clients = %.0f, want ~4× one client (%.0f)", mid, low)
+	}
+	// Saturation.
+	if high < 90000 || high > 105000 {
+		t.Errorf("32 clients = %.0f ops/s, want ~100k", high)
+	}
+	// Monotone non-decreasing (closed loops do not collapse).
+	if !(low <= mid && mid <= high+1) {
+		t.Errorf("throughput not monotone: %v %v %v", low, mid, high)
+	}
+}
+
+func TestClosedLoopWorkersScale(t *testing.T) {
+	svc := func(int) clock.Time { return 10 * clock.Microsecond }
+	tput := func(workers int) float64 {
+		ops, _ := ClosedLoop{
+			Clients: 64, Workers: workers,
+			RTT:     50 * clock.Microsecond,
+			Service: svc,
+			Horizon: 50 * clock.Millisecond,
+		}.Throughput()
+		return ops
+	}
+	if one, four := tput(1), tput(4); four < 3.2*one {
+		t.Errorf("4 workers = %.0f, want ~4× one worker (%.0f)", four, one)
+	}
+}
+
+func TestBacklogCoalescingHelps(t *testing.T) {
+	// A service model that amortizes a fixed exit cost across backlog
+	// must saturate higher than a flat one.
+	flat := func(int) clock.Time { return 20 * clock.Microsecond }
+	coalescing := func(backlog int) clock.Time {
+		b := backlog
+		if b > 16 {
+			b = 16
+		}
+		return 5*clock.Microsecond + 15*clock.Microsecond/clock.Time(b)
+	}
+	run := func(svc ServiceModel) float64 {
+		ops, _ := ClosedLoop{
+			Clients: 48, Workers: 1,
+			RTT:     30 * clock.Microsecond,
+			Service: svc,
+			Horizon: 50 * clock.Millisecond,
+		}.Throughput()
+		return ops
+	}
+	if f, c := run(flat), run(coalescing); c < 1.5*f {
+		t.Errorf("coalescing %.0f vs flat %.0f ops/s, want >1.5×", c, f)
+	}
+}
+
+func TestLatencyGrowsWithClients(t *testing.T) {
+	svc := func(int) clock.Time { return 10 * clock.Microsecond }
+	lat := func(clients int) clock.Time {
+		_, l := ClosedLoop{
+			Clients: clients, Workers: 1,
+			RTT:     50 * clock.Microsecond,
+			Service: svc,
+			Horizon: 50 * clock.Millisecond,
+		}.Throughput()
+		return l
+	}
+	if l1, l64 := lat(1), lat(64); l64 < 4*l1 {
+		t.Errorf("queueing latency did not grow: %v -> %v", l1, l64)
+	}
+}

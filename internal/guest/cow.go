@@ -1,0 +1,145 @@
+package guest
+
+import (
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// Copy-on-write fork. Instead of eagerly duplicating every resident
+// page, ForkCOW maps the parent's frames into the child read-only
+// (write-protecting the parent's own mappings too) and lets the first
+// write to a shared page take a protection fault, where the kernel
+// copies the frame and remaps it writable. Every protect and remap goes
+// through the runtime's PTE path, so the same fork costs dramatically
+// different amounts per runtime — a hypercall plus shadow sync per
+// entry under PVM, a PKS gate call under CKI.
+
+// cowRefs[pfn] counts the address spaces mapping a shared frame. A
+// value of 1 means "sole owner, but the mapping is still
+// write-protected from an earlier share" — the next write restores
+// write access without copying.
+func (k *Kernel) cowGet(pfn mem.PFN) int { return k.cowRefs[pfn] }
+
+// cowShare records one more address space mapping pfn.
+func (k *Kernel) cowShare(pfn mem.PFN) {
+	if k.cowRefs == nil {
+		k.cowRefs = make(map[mem.PFN]int)
+	}
+	if k.cowRefs[pfn] == 0 {
+		k.cowRefs[pfn] = 2 // owner + first sharer
+	} else {
+		k.cowRefs[pfn]++
+	}
+}
+
+// cowRelease drops one reference; it reports whether the frame is now
+// free to reclaim.
+func (k *Kernel) cowRelease(pfn mem.PFN) (reclaim bool) {
+	n := k.cowRefs[pfn]
+	switch {
+	case n > 2:
+		k.cowRefs[pfn] = n - 1
+		return false
+	case n == 2:
+		k.cowRefs[pfn] = 1
+		return false
+	case n == 1:
+		delete(k.cowRefs, pfn)
+		return true
+	default:
+		return true // never shared
+	}
+}
+
+// ForkCOW clones the current process with copy-on-write semantics.
+func (k *Kernel) ForkCOW() (int, error) {
+	pid, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyFork)
+		parent := k.Cur
+		child, err := k.newProc(parent.PID)
+		if err != nil {
+			return 0, err
+		}
+		if err := k.forkCOWShare(parent, child); err != nil {
+			k.reapFailedFork(child)
+			return 0, err
+		}
+		k.shareDescriptors(parent, child)
+		k.runq = append(k.runq, child)
+		k.Stats.ForkedProcs++
+		return uint64(child.PID), nil
+	})
+	return int(pid), err
+}
+
+// forkCOWShare write-protects the parent's resident pages and maps
+// them into the child read-only.
+func (k *Kernel) forkCOWShare(parent, child *Proc) error {
+	k.copyVMAs(parent, child)
+	pm := k.mapper(parent.AS)
+	cm := k.mapper(child.AS)
+	for va, pfn := range parent.AS.mapped {
+		v := parent.AS.FindVMA(va)
+		if v == nil || v.Huge {
+			continue // huge regions stay eager-copied (rare)
+		}
+		flags := protFlags(v.Prot) &^ pagetable.FlagWritable
+		// Write-protect the parent's mapping (skip if already RO).
+		if v.Prot&ProtWrite != 0 {
+			if err := pm.Protect(va, flags, -1); err != nil {
+				return err
+			}
+			k.PV.FlushPage(k, parent.AS, va)
+		}
+		// Share the frame read-only with the child.
+		if err := cm.Map(va, pfn, flags, 0); err != nil {
+			return err
+		}
+		child.AS.mapped[va] = pfn
+		k.cowShare(pfn)
+	}
+	return nil
+}
+
+// handleCOWFault resolves a write fault on a shared page: if the frame
+// is still shared, allocate a private copy and remap; if this is the
+// last sharer, simply restore write permission. Returns false when the
+// fault is not COW-related.
+func (k *Kernel) handleCOWFault(p *Proc, va uint64) (bool, error) {
+	base := va &^ uint64(mem.PageMask)
+	pfn, resident := p.AS.mapped[base]
+	if !resident {
+		return false, nil
+	}
+	v := p.AS.FindVMA(base)
+	if v == nil || v.Prot&ProtWrite == 0 {
+		return false, nil // a genuine protection violation
+	}
+	n := k.cowGet(pfn)
+	if n == 0 {
+		return false, nil // resident and writable-by-VMA but not shared
+	}
+	k.Stats.COWFaults++
+	mp := k.mapper(p.AS)
+	if n >= 2 {
+		// Still shared: copy into a private frame and leave the share.
+		np, err := k.PV.AllocFrame(k)
+		if err != nil {
+			return false, ENOMEM
+		}
+		k.charge(costPageCopy)
+		if err := mp.Map(base, np, protFlags(v.Prot), 0); err != nil {
+			return false, err
+		}
+		p.AS.mapped[base] = np
+		k.cowRelease(pfn)
+	} else {
+		// Sole owner: just restore write access.
+		delete(k.cowRefs, pfn)
+		if err := mp.Protect(base, protFlags(v.Prot), -1); err != nil {
+			return false, err
+		}
+	}
+	k.PV.FlushPage(k, p.AS, base)
+	return true, nil
+}

@@ -1,0 +1,189 @@
+package guest_test
+
+import (
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func cowSetup(t *testing.T, kind backends.Kind) (*backends.Container, uint64, int, int) {
+	t.Helper()
+	c := backends.MustNew(kind, backends.Options{})
+	k := c.K
+	addr, err := k.MmapCall(8*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 8*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	parent := k.Cur.PID
+	child, err := k.ForkCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, addr, parent, child
+}
+
+func TestForkCOWSharesThenCopies(t *testing.T) {
+	for _, kind := range []backends.Kind{backends.RunC, backends.HVM, backends.PVM, backends.CKI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c, addr, parent, child := cowSetup(t, kind)
+			k := c.K
+			// Both can read the shared pages without COW events.
+			if err := k.Touch(addr, mmu.Read); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SwitchToPID(child); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Touch(addr, mmu.Read); err != nil {
+				t.Fatal(err)
+			}
+			if k.Stats.COWFaults != 0 {
+				t.Fatalf("reads triggered %d COW faults", k.Stats.COWFaults)
+			}
+			// The child writes: exactly one COW copy.
+			if err := k.Touch(addr, mmu.Write); err != nil {
+				t.Fatalf("child COW write: %v", err)
+			}
+			if k.Stats.COWFaults != 1 {
+				t.Fatalf("COW faults = %d, want 1", k.Stats.COWFaults)
+			}
+			// After the copy, child and parent use different frames.
+			childFrame := frameAt(t, c, addr)
+			if err := k.SwitchToPID(parent); err != nil {
+				t.Fatal(err)
+			}
+			// Parent's first write is the sole-owner fast path (restore
+			// write access, no copy).
+			if err := k.Touch(addr, mmu.Write); err != nil {
+				t.Fatalf("parent post-COW write: %v", err)
+			}
+			if k.Stats.COWFaults != 2 {
+				t.Fatalf("COW faults = %d, want 2", k.Stats.COWFaults)
+			}
+			parentFrame := frameAt(t, c, addr)
+			if childFrame == parentFrame {
+				t.Error("parent and child share a frame after COW write")
+			}
+			// Subsequent writes are free of faults.
+			before := k.Stats.COWFaults
+			if err := k.Touch(addr, mmu.Write); err != nil {
+				t.Fatal(err)
+			}
+			if k.Stats.COWFaults != before {
+				t.Error("extra COW fault on already-private page")
+			}
+		})
+	}
+}
+
+// frameAt resolves the physical frame currently backing va for the
+// current process.
+func frameAt(t *testing.T, c *backends.Container, va uint64) mem.PFN {
+	t.Helper()
+	pfn, ok := c.K.Cur.AS.ResidentFrame(va)
+	if !ok {
+		t.Fatalf("va %#x not resident", va)
+	}
+	return pfn
+}
+
+func TestForkCOWCheaperThanEagerFork(t *testing.T) {
+	for _, kind := range []backends.Kind{backends.RunC, backends.PVM, backends.CKI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			// Under PVM each PTE operation is a hypercall + shadow sync,
+			// so COW's two operations per page (protect + share) cost
+			// *more* at fork time than eager's one map + copy — another
+			// face of "shadow paging penalizes memory management".
+			wantCheaper := kind != backends.PVM
+			mkResident := func() *backends.Container {
+				c := backends.MustNew(kind, backends.Options{})
+				addr, err := c.K.MmapCall(64*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.K.TouchRange(addr, 64*mem.PageSize, mmu.Write); err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			eager := mkResident()
+			start := eager.Clk.Now()
+			if _, err := eager.K.Fork(); err != nil {
+				t.Fatal(err)
+			}
+			eagerCost := eager.Clk.Now() - start
+
+			cow := mkResident()
+			start = cow.Clk.Now()
+			if _, err := cow.K.ForkCOW(); err != nil {
+				t.Fatal(err)
+			}
+			cowCost := cow.Clk.Now() - start
+			// COW avoids 64 page copies; it still pays per-page protects
+			// and shares, so it is cheaper but not free.
+			if wantCheaper && cowCost >= eagerCost {
+				t.Errorf("COW fork %v not cheaper than eager %v", cowCost, eagerCost)
+			}
+			if !wantCheaper && cowCost > 2*eagerCost {
+				t.Errorf("PVM COW fork %v exceeds 2x eager %v", cowCost, eagerCost)
+			}
+		})
+	}
+}
+
+func TestForkCOWExitReclaimsOnlyUnshared(t *testing.T) {
+	c, addr, _, child := cowSetup(t, backends.CKI)
+	k := c.K
+	// Child exits without writing: shared frames must survive for the
+	// parent.
+	if err := k.SwitchToPID(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Exit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Parent still reads and writes all 8 pages.
+	for i := 0; i < 8; i++ {
+		if err := k.Touch(addr+uint64(i)*mem.PageSize, mmu.Write); err != nil {
+			t.Fatalf("page %d after child exit: %v", i, err)
+		}
+	}
+}
+
+func TestForkCOWThreeGenerations(t *testing.T) {
+	c, addr, _, child := cowSetup(t, backends.CKI)
+	k := c.K
+	if err := k.SwitchToPID(child); err != nil {
+		t.Fatal(err)
+	}
+	grand, err := k.ForkCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SwitchToPID(grand); err != nil {
+		t.Fatal(err)
+	}
+	// The grandchild writes every page; everyone else keeps reading.
+	for i := 0; i < 8; i++ {
+		if err := k.Touch(addr+uint64(i)*mem.PageSize, mmu.Write); err != nil {
+			t.Fatalf("grandchild write %d: %v", i, err)
+		}
+	}
+	if err := k.SwitchToPID(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(addr, mmu.Read); err != nil {
+		t.Fatalf("child read after grandchild writes: %v", err)
+	}
+}

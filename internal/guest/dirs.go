@@ -1,0 +1,216 @@
+package guest
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Directory operations for the tmpfs. Paths are absolute and
+// slash-separated; a file's parent directory must exist. The root
+// directory always exists.
+
+// directory body costs.
+var (
+	sysBodyMkdir   = clock.FromNanos(550)
+	sysBodyReaddir = clock.FromNanos(450)
+	sysBodyRename  = clock.FromNanos(600)
+	sysBodyDup     = clock.FromNanos(70)
+)
+
+// splitPath returns the parent directory and base name of an absolute
+// path ("/a/b/c" → "/a/b", "c").
+func splitPath(path string) (dir, base string, err error) {
+	if !strings.HasPrefix(path, "/") || path == "/" {
+		return "", "", EINVAL
+	}
+	path = strings.TrimSuffix(path, "/")
+	i := strings.LastIndexByte(path, '/')
+	dir = path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, path[i+1:], nil
+}
+
+// dirExists reports whether path names an existing directory.
+func (fs *FS) dirExists(path string) bool {
+	if path == "/" {
+		return true
+	}
+	ino, ok := fs.files[path]
+	return ok && ino.Dir
+}
+
+// checkParent validates that path's parent directory exists.
+func (fs *FS) checkParent(path string) error {
+	dir, _, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if !fs.dirExists(dir) {
+		return ENOENT
+	}
+	return nil
+}
+
+// Mkdir creates a directory.
+func (k *Kernel) Mkdir(path string) error {
+	_, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyMkdir)
+		fs := k.FS
+		if err := fs.checkParent(path); err != nil {
+			return 0, err
+		}
+		if _, exists := fs.files[path]; exists {
+			return 0, EEXIST
+		}
+		ino := &Inode{Ino: fs.nextIno, Name: path, Dir: true}
+		fs.nextIno++
+		fs.files[path] = ino
+		return 0, nil
+	})
+	return err
+}
+
+// Readdir lists the immediate children of a directory, sorted.
+func (k *Kernel) Readdir(path string) ([]string, error) {
+	var out []string
+	_, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyReaddir)
+		fs := k.FS
+		if !fs.dirExists(path) {
+			return 0, ENOTDIR
+		}
+		prefix := path
+		if prefix != "/" {
+			prefix += "/"
+		}
+		for p := range fs.files {
+			if !strings.HasPrefix(p, prefix) {
+				continue
+			}
+			rest := p[len(prefix):]
+			if rest == "" || strings.ContainsRune(rest, '/') {
+				continue
+			}
+			out = append(out, rest)
+		}
+		sort.Strings(out)
+		k.charge(copyCost(16 * len(out))) // dirent copy-out
+		return uint64(len(out)), nil
+	})
+	return out, err
+}
+
+// Rmdir removes an empty directory.
+func (k *Kernel) Rmdir(path string) error {
+	_, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyMkdir / 2)
+		fs := k.FS
+		ino, ok := fs.files[path]
+		if !ok || !ino.Dir {
+			return 0, ENOTDIR
+		}
+		prefix := path + "/"
+		for p := range fs.files {
+			if strings.HasPrefix(p, prefix) {
+				return 0, EEXIST // not empty (ENOTEMPTY class)
+			}
+		}
+		delete(fs.files, path)
+		return 0, nil
+	})
+	return err
+}
+
+// Rename moves a file or directory (and, for directories, everything
+// beneath it).
+func (k *Kernel) Rename(oldPath, newPath string) error {
+	_, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyRename)
+		fs := k.FS
+		ino, ok := fs.files[oldPath]
+		if !ok {
+			return 0, ENOENT
+		}
+		if err := fs.checkParent(newPath); err != nil {
+			return 0, err
+		}
+		if existing, exists := fs.files[newPath]; exists {
+			if existing.Dir {
+				return 0, EISDIR
+			}
+		}
+		delete(fs.files, oldPath)
+		ino.Name = newPath
+		fs.files[newPath] = ino
+		if ino.Dir {
+			oldPrefix, newPrefix := oldPath+"/", newPath+"/"
+			var moves [][2]string
+			for p := range fs.files {
+				if strings.HasPrefix(p, oldPrefix) {
+					moves = append(moves, [2]string{p, newPrefix + p[len(oldPrefix):]})
+				}
+			}
+			for _, m := range moves {
+				child := fs.files[m[0]]
+				delete(fs.files, m[0])
+				child.Name = m[1]
+				fs.files[m[1]] = child
+			}
+			k.charge(clock.FromNanos(float64(120 * len(moves))))
+		}
+		return 0, nil
+	})
+	return err
+}
+
+// Dup duplicates a descriptor, returning the new fd. Both refer to the
+// same open file description (shared cursor), as on Linux.
+func (k *Kernel) Dup(fd int) (int, error) {
+	nfd, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyDup)
+		f, err := k.Cur.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		switch f.kind {
+		case kindPipeR:
+			f.pipe.readers++
+		case kindPipeW:
+			f.pipe.writers++
+		}
+		return uint64(k.Cur.allocFD(f)), nil
+	})
+	return int(nfd), err
+}
+
+// OpenAt opens path, validating its parent directory (unlike the flat
+// Open, which predates directories and is kept for compatibility).
+func (k *Kernel) OpenAt(path string, create bool) (int, error) {
+	fd, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodyOpen)
+		fs := k.FS
+		ino, lookupErr := fs.Lookup(path)
+		if lookupErr != nil {
+			if !create {
+				return 0, lookupErr
+			}
+			if err := fs.checkParent(path); err != nil {
+				return 0, err
+			}
+			var err error
+			ino, err = fs.Create(path)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if ino.Dir {
+			return 0, EISDIR
+		}
+		return uint64(k.Cur.allocFD(&File{kind: kindRegular, inode: ino})), nil
+	})
+	return int(fd), err
+}

@@ -1,0 +1,202 @@
+package guest_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+func TestMkdirReaddir(t *testing.T) {
+	c := runc(t)
+	k := c.K
+	if err := k.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Mkdir("/data"); !errors.Is(err, guest.EEXIST) {
+		t.Errorf("double mkdir err = %v, want EEXIST", err)
+	}
+	if err := k.Mkdir("/missing/sub"); !errors.Is(err, guest.ENOENT) {
+		t.Errorf("orphan mkdir err = %v, want ENOENT", err)
+	}
+	if err := k.Mkdir("/data/sub"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/data/a.txt", "/data/b.txt", "/data/sub/deep.txt"} {
+		if _, err := k.OpenAt(p, true); err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+	}
+	got, err := k.Readdir("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.txt", "b.txt", "sub"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Readdir = %v, want %v", got, want)
+	}
+	root, err := k.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(root, []string{"data"}) {
+		t.Errorf("Readdir(/) = %v", root)
+	}
+	if _, err := k.Readdir("/data/a.txt"); !errors.Is(err, guest.ENOTDIR) {
+		t.Errorf("readdir on file err = %v, want ENOTDIR", err)
+	}
+}
+
+func TestOpenAtValidatesParent(t *testing.T) {
+	c := runc(t)
+	k := c.K
+	if _, err := k.OpenAt("/nodir/x", true); !errors.Is(err, guest.ENOENT) {
+		t.Errorf("err = %v, want ENOENT", err)
+	}
+	if err := k.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.OpenAt("/d", false); !errors.Is(err, guest.EISDIR) {
+		t.Errorf("open dir err = %v, want EISDIR", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	c := runc(t)
+	k := c.K
+	if err := k.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.OpenAt("/d/f", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Rmdir("/d"); !errors.Is(err, guest.EEXIST) {
+		t.Errorf("rmdir non-empty err = %v, want EEXIST", err)
+	}
+	if err := k.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Rmdir("/d"); !errors.Is(err, guest.ENOTDIR) {
+		t.Errorf("rmdir missing err = %v, want ENOTDIR", err)
+	}
+}
+
+func TestRenameFileAndTree(t *testing.T) {
+	c := runc(t)
+	k := c.K
+	if err := k.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := k.OpenAt("/a/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(fd, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// File rename.
+	if err := k.Rename("/a/f", "/a/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Stat("/a/f"); !errors.Is(err, guest.ENOENT) {
+		t.Error("old name still present")
+	}
+	si, err := k.Stat("/a/g")
+	if err != nil || si.Size != 7 {
+		t.Fatalf("renamed file stat = %+v, %v", si, err)
+	}
+	// Directory rename moves the subtree.
+	if err := k.Mkdir("/a/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.OpenAt("/a/sub/deep", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Stat("/b/sub/deep"); err != nil {
+		t.Errorf("subtree lost in rename: %v", err)
+	}
+	// The open descriptor still works (inode identity preserved).
+	if err := k.Lseek(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := k.Read(fd, 16)
+	if err != nil || string(data) != "payload" {
+		t.Errorf("read through stale fd = %q, %v", data, err)
+	}
+	// Rename onto a directory is refused.
+	if err := k.Mkdir("/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Rename("/b/g", "/c"); !errors.Is(err, guest.EISDIR) {
+		t.Errorf("rename onto dir err = %v, want EISDIR", err)
+	}
+}
+
+func TestDupSharesCursor(t *testing.T) {
+	c := runc(t)
+	k := c.K
+	fd, err := k.Open("/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(fd, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Lseek(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := k.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup == fd {
+		t.Fatal("dup returned same fd")
+	}
+	// Reading via the dup advances the shared cursor.
+	if got, _ := k.Read(dup, 3); string(got) != "abc" {
+		t.Fatalf("dup read = %q", got)
+	}
+	if got, _ := k.Read(fd, 3); string(got) != "def" {
+		t.Errorf("original read = %q, want def (shared cursor)", got)
+	}
+	// Closing one end keeps the other usable.
+	if err := k.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Lseek(dup, 0); err != nil {
+		t.Errorf("dup unusable after closing original: %v", err)
+	}
+}
+
+func TestDupPipeEndCounting(t *testing.T) {
+	c := runc(t)
+	k := c.K
+	rfd, wfd, err := k.PipePair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdup, err := k.Dup(wfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing one writer is not EOF while the dup lives.
+	if err := k.Close(wfd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Read(rfd, 1); !errors.Is(err, guest.EAGAIN) {
+		t.Errorf("read err = %v, want EAGAIN (writer dup alive)", err)
+	}
+	if err := k.Close(wdup); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := k.Read(rfd, 1); err != nil || got != nil {
+		t.Errorf("read = %v, %v; want EOF", got, err)
+	}
+}

@@ -1,0 +1,55 @@
+package guest
+
+// External connectivity for the I/O workloads: a connected socket whose
+// guest side is an ordinary descriptor and whose other end belongs to
+// the outside world (the load generator / DES client model). Guest
+// writes cross the virtio boundary: the runtime's doorbell fires unless
+// the notification-suppression flag is set (the virtqueue batching the
+// throughput results depend on).
+
+// ExternalConn creates a connected stream socket. The returned fd
+// belongs to the current process; the returned *Sock is the external
+// endpoint the harness drives directly (its operations are free — the
+// client machine is not the system under test). kick runs on every
+// unsuppressed guest transmit.
+func (k *Kernel) ExternalConn(kick func()) (int, *Sock, error) {
+	var fd int
+	var ext *Sock
+	_, err := k.syscall(func() (uint64, error) {
+		k.charge(sysBodySock)
+		g := &Sock{open: true, kick: kick}
+		ext = &Sock{open: true}
+		g.peer, ext.peer = ext, g
+		fd = k.Cur.allocFD(&File{kind: kindSock, sock: g})
+		return 0, nil
+	})
+	return fd, ext, err
+}
+
+// Send delivers data from the external endpoint into the guest socket's
+// receive buffer (packet arrival; the interrupt is the caller's job).
+func (s *Sock) Send(data []byte) {
+	if s.peer != nil {
+		s.peer.rx = append(s.peer.rx, data...)
+	}
+}
+
+// Recv drains whatever the guest transmitted to the external endpoint.
+func (s *Sock) Recv() ([]byte, bool) {
+	if len(s.rx) == 0 {
+		return nil, false
+	}
+	out := s.rx
+	s.rx = nil
+	return out, true
+}
+
+// SetKickSuppressed toggles transmit-doorbell coalescing on a socket's
+// underlying queue (virtio notification suppression).
+func (k *Kernel) SetKickSuppressed(fd int, on bool) {
+	f, err := k.Cur.file(fd)
+	if err != nil || f.kind != kindSock {
+		return
+	}
+	f.sock.suppress = on
+}

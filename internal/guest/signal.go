@@ -1,0 +1,97 @@
+package guest
+
+import (
+	"repro/internal/clock"
+	"repro/internal/mem"
+)
+
+// User-level fault handling (SIGSEGV). A process may register a
+// segfault handler; protection violations then deliver a signal frame
+// to user space instead of killing the access, and the handler decides
+// whether to retry (after fixing the mapping, the write-barrier trick
+// garbage collectors play with mprotect) or let the fault be fatal.
+//
+// Delivery rides the runtime's exception flow: the guest kernel takes
+// the fault, builds the signal frame, and returns *to the handler* in
+// user mode; sigreturn re-enters the kernel. PVM pays its redirection
+// on every leg, which is part of why lmbench's protfault row is so
+// lopsided (Fig. 11).
+
+// SegvAction is a handler's verdict.
+type SegvAction int
+
+// Handler verdicts.
+const (
+	// SegvRetry re-executes the faulting access (the handler repaired
+	// the mapping).
+	SegvRetry SegvAction = iota
+	// SegvFatal lets the fault kill the access (EFAULT).
+	SegvFatal
+)
+
+// SegvHandler receives the faulting address and the write flag.
+type SegvHandler func(va uint64, write bool) SegvAction
+
+// signal-delivery software costs.
+var (
+	costSigFrame  = clock.FromNanos(380) // build frame, copy siginfo out
+	costSigReturn = clock.FromNanos(210) // sigreturn re-entry bookkeeping
+)
+
+// RegisterSegvHandler installs (or, with nil, removes) the current
+// process's segfault handler (sigaction).
+func (k *Kernel) RegisterSegvHandler(h SegvHandler) {
+	_, _ = k.syscall(func() (uint64, error) {
+		k.charge(sysBodyDup) // sigaction-class bookkeeping
+		k.Cur.segv = h
+		return 0, nil
+	})
+}
+
+// deliverSegv runs the signal machinery for a protection fault. The
+// caller has already run FaultEnter. handled reports whether a handler
+// existed; retry whether it asked for re-execution. Either way the flow
+// ends back in user mode (iret to the faulting context on retry, to the
+// post-kill continuation otherwise).
+func (k *Kernel) deliverSegv(p *Proc, va uint64, write bool) (handled, retry bool) {
+	if p.segv == nil {
+		return false, false
+	}
+	k.Stats.Signals++
+	k.charge(costSigFrame)
+	// Return to user mode for the handler body.
+	k.PV.FaultExit(k)
+	action := p.segv(va, write)
+	// sigreturn: trap back into the kernel, then iret to the context.
+	k.PV.SyscallEnter(k)
+	k.charge(costSigReturn)
+	k.PV.FaultExit(k)
+	return true, action == SegvRetry
+}
+
+// Pages below exercise the classic mprotect write-barrier pattern and
+// are used by the tests and the GC example in the documentation.
+
+// WriteBarrierRegion arms length bytes at addr as a write-barrier
+// region: writes fault, the handler records the page and reopens it.
+// It returns the set of dirtied page addresses (populated as faults
+// arrive) and an error for setup problems.
+func (k *Kernel) WriteBarrierRegion(addr, length uint64) (*map[uint64]bool, error) {
+	dirty := map[uint64]bool{}
+	if err := k.MprotectCall(addr, length, ProtRead); err != nil {
+		return nil, err
+	}
+	k.RegisterSegvHandler(func(va uint64, write bool) SegvAction {
+		if !write || va < addr || va >= addr+length {
+			return SegvFatal
+		}
+		base := va &^ uint64(mem.PageMask)
+		dirty[base] = true
+		// The handler calls mprotect(2) like a real user program.
+		if err := k.MprotectCall(base, mem.PageSize, ProtRead|ProtWrite); err != nil {
+			return SegvFatal
+		}
+		return SegvRetry
+	})
+	return &dirty, nil
+}

@@ -1,0 +1,145 @@
+package guest_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func TestSegvHandlerRetry(t *testing.T) {
+	for _, kind := range []backends.Kind{backends.RunC, backends.PVM, backends.CKI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c := backends.MustNew(kind, backends.Options{})
+			k := c.K
+			addr, err := k.MmapCall(mem.PageSize, guest.ProtRead, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Touch(addr, mmu.Read); err != nil {
+				t.Fatal(err)
+			}
+			var got []uint64
+			k.RegisterSegvHandler(func(va uint64, write bool) guest.SegvAction {
+				got = append(got, va)
+				if err := k.MprotectCall(va&^uint64(mem.PageMask), mem.PageSize,
+					guest.ProtRead|guest.ProtWrite); err != nil {
+					return guest.SegvFatal
+				}
+				return guest.SegvRetry
+			})
+			if err := k.Touch(addr+8, mmu.Write); err != nil {
+				t.Fatalf("write after handler fix: %v", err)
+			}
+			if len(got) != 1 || got[0] != addr+8 {
+				t.Errorf("handler saw %v, want one fault at %#x", got, addr+8)
+			}
+			if k.Stats.Signals != 1 {
+				t.Errorf("signals = %d, want 1", k.Stats.Signals)
+			}
+			// The now-writable page faults no more.
+			if err := k.Touch(addr+16, mmu.Write); err != nil {
+				t.Fatal(err)
+			}
+			if k.Stats.Signals != 1 {
+				t.Error("extra signal on fixed page")
+			}
+		})
+	}
+}
+
+func TestSegvHandlerFatal(t *testing.T) {
+	c := backends.MustNew(backends.CKI, backends.Options{})
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(addr, mmu.Read); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterSegvHandler(func(uint64, bool) guest.SegvAction { return guest.SegvFatal })
+	if err := k.Touch(addr, mmu.Write); !errors.Is(err, guest.EFAULT) {
+		t.Errorf("err = %v, want EFAULT", err)
+	}
+	// Unregister: back to plain EFAULT without signal machinery.
+	k.RegisterSegvHandler(nil)
+	before := k.Stats.Signals
+	if err := k.Touch(addr, mmu.Write); !errors.Is(err, guest.EFAULT) {
+		t.Errorf("err = %v, want EFAULT", err)
+	}
+	if k.Stats.Signals != before {
+		t.Error("signal delivered with no handler")
+	}
+}
+
+func TestSegvLoopingHandlerBounded(t *testing.T) {
+	// A handler that keeps demanding retries without fixing anything
+	// must not hang the access.
+	c := backends.MustNew(backends.RunC, backends.Options{})
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(addr, mmu.Read); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterSegvHandler(func(uint64, bool) guest.SegvAction { return guest.SegvRetry })
+	if err := k.Touch(addr, mmu.Write); err == nil {
+		t.Fatal("livelocked access returned success")
+	}
+	if k.Stats.Signals == 0 || k.Stats.Signals > 5 {
+		t.Errorf("signals = %d, want a small bounded count", k.Stats.Signals)
+	}
+}
+
+func TestWriteBarrierRegion(t *testing.T) {
+	// The GC write-barrier pattern end to end, on CKI: all the
+	// mprotects ride KSM calls, all the faults stay in-container.
+	c := backends.MustNew(backends.CKI, backends.Options{})
+	k := c.K
+	const pages = 8
+	addr, err := k.MmapCall(pages*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, pages*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := k.WriteBarrierRegion(addr, pages*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write three distinct pages (one twice); reads are free.
+	for _, off := range []uint64{0, 2 * mem.PageSize, 5 * mem.PageSize, 2*mem.PageSize + 64} {
+		if err := k.Touch(addr+off, mmu.Write); err != nil {
+			t.Fatalf("barrier write at +%#x: %v", off, err)
+		}
+	}
+	if err := k.Touch(addr+7*mem.PageSize, mmu.Read); err != nil {
+		t.Fatal(err)
+	}
+	if len(*dirty) != 3 {
+		t.Errorf("dirty set = %v, want 3 pages", *dirty)
+	}
+	for _, off := range []uint64{0, 2 * mem.PageSize, 5 * mem.PageSize} {
+		if !(*dirty)[addr+off] {
+			t.Errorf("page +%#x missing from dirty set", off)
+		}
+	}
+	if k.Stats.Signals != 3 {
+		t.Errorf("signals = %d, want 3", k.Stats.Signals)
+	}
+	ksmOK := true
+	if ksm, _, _, ok := c.CKIInternals(); ok {
+		ksmOK = ksm.Stats.Rejections == 0
+	}
+	if !ksmOK {
+		t.Error("barrier workflow triggered KSM rejections")
+	}
+}

@@ -1,0 +1,94 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+)
+
+func newHost(t *testing.T) (*Kernel, *clock.Clock) {
+	t.Helper()
+	k, err := New(mem.New(1024), clock.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, new(clock.Clock)
+}
+
+func TestHypercallDispatch(t *testing.T) {
+	k, clk := newHost(t)
+	cases := []struct {
+		nr    int
+		args  []uint64
+		check func() bool
+	}{
+		{HcConsole, []uint64{1}, func() bool { return k.Stats.Consoles == 1 }},
+		{HcPause, nil, func() bool { return k.Stats.Pauses == 1 }},
+		{HcSetTimer, []uint64{100}, func() bool { return k.Stats.TimerSets == 1 }},
+		{HcSendIPI, []uint64{2}, func() bool { return k.Stats.IPIs == 1 }},
+		{HcVirtioKick, []uint64{0}, func() bool { return k.Stats.VirtioKicks == 1 }},
+		{HcYield, nil, func() bool { return true }},
+	}
+	for _, c := range cases {
+		before := clk.Now()
+		if _, err := k.Hypercall(clk, c.nr, c.args...); err != nil {
+			t.Fatalf("hypercall %d: %v", c.nr, err)
+		}
+		if !c.check() {
+			t.Errorf("hypercall %d not recorded", c.nr)
+		}
+		if clk.Now() == before {
+			t.Errorf("hypercall %d charged nothing", c.nr)
+		}
+	}
+	if k.Stats.Hypercalls != uint64(len(cases)) {
+		t.Errorf("total hypercalls = %d, want %d", k.Stats.Hypercalls, len(cases))
+	}
+	if _, err := k.Hypercall(clk, 999); err == nil {
+		t.Error("unknown hypercall succeeded")
+	}
+}
+
+func TestMemExtend(t *testing.T) {
+	k, clk := newHost(t)
+	base, err := k.Hypercall(clk, HcMemExtend, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := mem.Segment{Base: mem.PFN(base), Frames: 64}
+	for p := seg.Base; p < seg.End(); p++ {
+		if k.Mem.Owner(p) != 7 {
+			t.Fatalf("frame %d owner = %d, want 7", p, k.Mem.Owner(p))
+		}
+	}
+	if _, err := k.Hypercall(clk, HcMemExtend, 64); err == nil {
+		t.Error("malformed HcMemExtend succeeded")
+	}
+}
+
+func TestDelegateSegment(t *testing.T) {
+	k, _ := newHost(t)
+	s1, err := k.DelegateSegment(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := k.DelegateSegment(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Contains(s2.Base) || s2.Contains(s1.Base) {
+		t.Error("delegated segments overlap")
+	}
+}
+
+func TestHandleIRQCharges(t *testing.T) {
+	k, clk := newHost(t)
+	k.HandleIRQ(clk, 33)
+	if k.Stats.IRQs != 1 {
+		t.Error("IRQ not counted")
+	}
+	if clk.Now() != k.Costs.IRQHostWork {
+		t.Errorf("IRQ charged %v, want %v", clk.Now(), k.Costs.IRQHostWork)
+	}
+}

@@ -1,0 +1,283 @@
+package hw
+
+import "repro/internal/mem"
+
+// This file implements the privileged-instruction surface of Table 3.
+// Every method returns a *Fault when the current mode or PKS state
+// forbids the operation, and nil after performing its effect.
+
+// --- system registers (blocked under PKS) -------------------------------
+
+// Lidt loads the interrupt descriptor table register. Blocked for
+// deprivileged guest kernels: the IDT lives in KSM memory and only boot
+// code (the KSM) installs it.
+func (c *CPU) Lidt(idt *IDT) *Fault {
+	if f := c.checkPriv("lidt", true); f != nil {
+		return f
+	}
+	c.idt = idt
+	return nil
+}
+
+// Lgdt loads the global descriptor table register (modelled as a no-op
+// beyond its legality check).
+func (c *CPU) Lgdt() *Fault { return c.checkPriv("lgdt", true) }
+
+// Ltr loads the task register (IST stack configuration hangs off it).
+func (c *CPU) Ltr() *Fault { return c.checkPriv("ltr", true) }
+
+// --- MSRs (blocked under PKS) --------------------------------------------
+
+// Rdmsr reads a model-specific register.
+func (c *CPU) Rdmsr(msr uint32) (uint64, *Fault) {
+	if f := c.checkPriv("rdmsr", true); f != nil {
+		return 0, f
+	}
+	return c.msr[msr], nil
+}
+
+// Wrmsr writes a model-specific register. Guest kernels use these for
+// timer programming and IPIs; under CKI both are replaced by hypercalls.
+func (c *CPU) Wrmsr(msr uint32, v uint64) *Fault {
+	if f := c.checkPriv("wrmsr", true); f != nil {
+		return f
+	}
+	c.msr[msr] = v
+	return nil
+}
+
+// --- control registers ----------------------------------------------------
+
+// ReadCR0 and ReadCR4 are harmless and stay executable (Table 3,
+// "MOV CRn, reg": not blocked).
+func (c *CPU) ReadCR0() (uint64, *Fault) {
+	if f := c.checkPriv("mov r,cr0", false); f != nil {
+		return 0, f
+	}
+	return c.cr0, nil
+}
+
+// ReadCR4 reads CR4.
+func (c *CPU) ReadCR4() (uint64, *Fault) {
+	if f := c.checkPriv("mov r,cr4", false); f != nil {
+		return 0, f
+	}
+	return c.cr4, nil
+}
+
+// WriteCR0 is blocked under PKS (replaced with a KSM call, e.g. for
+// toggling CR0.TS during lazy FPU switching).
+func (c *CPU) WriteCR0(v uint64) *Fault {
+	if f := c.checkPriv("mov cr0,r", true); f != nil {
+		return f
+	}
+	c.cr0 = v
+	return nil
+}
+
+// WriteCR4 is blocked under PKS.
+func (c *CPU) WriteCR4(v uint64) *Fault {
+	if f := c.checkPriv("mov cr4,r", true); f != nil {
+		return f
+	}
+	c.cr4 = v
+	return nil
+}
+
+// WriteCR3 switches the address space. Blocked under PKS: a guest kernel
+// must call the KSM, which validates that the new root is a declared
+// top-level PTP and loads the per-vCPU copy (§4.3).
+func (c *CPU) WriteCR3(root mem.PFN, pcid uint16) *Fault {
+	if f := c.checkPriv("mov cr3,r", true); f != nil {
+		return f
+	}
+	c.cr3 = root
+	c.pcid = pcid
+	return nil
+}
+
+// Clac and Stac toggle SMAP's AC flag and are harmless (Table 3).
+func (c *CPU) Clac() *Fault { return c.checkPriv("clac", false) }
+
+// Stac is the counterpart of Clac.
+func (c *CPU) Stac() *Fault { return c.checkPriv("stac", false) }
+
+// --- TLB maintenance --------------------------------------------------------
+
+// InvlpgFn is installed by the MMU layer so Invlpg reaches the TLB; it
+// receives the current PCID and the address. Invlpg only affects the
+// executing context's PCID, which is why the paper leaves it unblocked
+// once containers are isolated in distinct PCIDs (§4.1).
+type InvlpgFn func(pcid uint16, va uint64)
+
+// InvpcidFn flushes other PCIDs and is therefore blocked under PKS.
+type InvpcidFn func(pcid uint16)
+
+// TLBHooks connects the CPU's TLB-maintenance instructions to an MMU.
+type TLBHooks struct {
+	Invlpg  InvlpgFn
+	Invpcid InvpcidFn
+}
+
+// SetTLBHooks installs the TLB-maintenance callbacks.
+func (c *CPU) SetTLBHooks(h TLBHooks) { c.tlbHooks = h }
+
+// Invlpg invalidates one page of the *current* PCID. Not blocked.
+func (c *CPU) Invlpg(va uint64) *Fault {
+	if f := c.checkPriv("invlpg", false); f != nil {
+		return f
+	}
+	if c.tlbHooks.Invlpg != nil {
+		c.tlbHooks.Invlpg(c.pcid, va)
+	}
+	return nil
+}
+
+// Invpcid invalidates entries of an arbitrary PCID. Blocked under PKS:
+// a guest could otherwise flush other containers' TLB entries.
+func (c *CPU) Invpcid(pcid uint16) *Fault {
+	if f := c.checkPriv("invpcid", true); f != nil {
+		return f
+	}
+	if c.tlbHooks.Invpcid != nil {
+		c.tlbHooks.Invpcid(pcid)
+	}
+	return nil
+}
+
+// --- syscall / exception plumbing -------------------------------------------
+
+// Swapgs exchanges GSBase and KernelGS. It stays executable in guest
+// kernels for syscall performance (OPT3); the KSM therefore never trusts
+// kernel_gs and locates its per-vCPU area at a constant address instead.
+func (c *CPU) Swapgs() *Fault {
+	if f := c.checkPriv("swapgs", false); f != nil {
+		return f
+	}
+	c.gsBase, c.kernelGS = c.kernelGS, c.gsBase
+	return nil
+}
+
+// Syscall models the syscall instruction: user→kernel transition to the
+// IA32_STAR entry point. The CPU does not touch PKRS (the guest kernel
+// runs with PKRS_GUEST already loaded, §4.2).
+func (c *CPU) Syscall() *Fault {
+	if c.mode != ModeUser {
+		return &Fault{Kind: FaultGP, Instr: "syscall", Mode: c.mode}
+	}
+	c.mode = ModeKernel
+	return nil
+}
+
+// Sysret returns to user mode. It stays executable under PKS (OPT3), but
+// CKI's hardware extension forces the IF flag on when PKRS is non-zero,
+// closing the DoS channel where a guest kernel sysrets with interrupts
+// masked (§4.1).
+func (c *CPU) Sysret(wantIF bool) *Fault {
+	if f := c.checkPriv("sysret", false); f != nil {
+		return f
+	}
+	if c.guestDeprivileged() {
+		wantIF = true // hardware extension: IF forced on
+	}
+	c.intEnabled = wantIF
+	c.mode = ModeUser
+	return nil
+}
+
+// --- interrupt masking (blocked under PKS) ------------------------------------
+
+// Cli disables maskable interrupts. Blocked: a guest kernel maintains
+// its virtual interrupt-enable state in memory instead (§4.1).
+func (c *CPU) Cli() *Fault {
+	if f := c.checkPriv("cli", true); f != nil {
+		return f
+	}
+	c.intEnabled = false
+	return nil
+}
+
+// Sti enables maskable interrupts. Blocked under PKS like Cli.
+func (c *CPU) Sti() *Fault {
+	if f := c.checkPriv("sti", true); f != nil {
+		return f
+	}
+	c.intEnabled = true
+	return nil
+}
+
+// Popf restores RFLAGS including IF and is blocked under PKS.
+func (c *CPU) Popf(ifFlag bool) *Fault {
+	if f := c.checkPriv("popf", true); f != nil {
+		return f
+	}
+	c.intEnabled = ifFlag
+	return nil
+}
+
+// --- misc privileged instructions ----------------------------------------------
+
+// Hlt pauses the CPU until the next interrupt. It is *not* blocked:
+// with CLI/POPF blocked and sysret forcing IF, interrupts always remain
+// deliverable, so hlt cannot monopolize the core (the host's timer tick
+// reclaims it). Para-virtualized guests replace it with a pause
+// hypercall anyway.
+func (c *CPU) Hlt() *Fault {
+	if f := c.checkPriv("hlt", false); f != nil {
+		return f
+	}
+	c.Halted = true
+	return nil
+}
+
+// In models port input; port I/O is blocked under PKS (unused by a
+// para-virtualized container guest kernel).
+func (c *CPU) In(port uint16) (uint32, *Fault) {
+	if f := c.checkPriv("in", true); f != nil {
+		return 0, f
+	}
+	return 0, nil
+}
+
+// Out models port output, blocked like In.
+func (c *CPU) Out(port uint16, v uint32) *Fault {
+	return c.checkPriv("out", true)
+}
+
+// Smsw stores the machine status word and is blocked under PKS.
+func (c *CPU) Smsw() (uint64, *Fault) {
+	if f := c.checkPriv("smsw", true); f != nil {
+		return 0, f
+	}
+	return c.cr0 & 0xffff, nil
+}
+
+// --- protection keys -------------------------------------------------------------
+
+// Wrpkru writes PKRU; it is unprivileged, as on stock hardware.
+func (c *CPU) Wrpkru(v PKReg) { c.pkru = v }
+
+// Wrpkrs is CKI's new instruction: it writes PKRS from kernel mode
+// without the MSR path, so the guest kernel can enter the KSM without
+// being granted wrmsr. It exists only when the PKS extension is on;
+// stock CPUs must use WrmsrPKRS.
+func (c *CPU) Wrpkrs(v PKReg) *Fault {
+	if c.mode != ModeKernel {
+		return &Fault{Kind: FaultGP, Instr: "wrpkrs", Mode: c.mode}
+	}
+	if !c.PKSExt {
+		return &Fault{Kind: FaultGP, Instr: "wrpkrs (unsupported)", Mode: c.mode}
+	}
+	c.pkrs = v
+	return nil
+}
+
+// WrmsrPKRS is the stock-hardware path to PKRS (IA32_PKRS, MSR 0x6E1).
+// Like any wrmsr it is blocked for deprivileged guests.
+func (c *CPU) WrmsrPKRS(v PKReg) *Fault {
+	if f := c.checkPriv("wrmsr(pkrs)", true); f != nil {
+		return f
+	}
+	c.pkrs = v
+	return nil
+}

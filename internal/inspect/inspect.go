@@ -1,0 +1,121 @@
+// Package inspect renders simulated address spaces for humans: it walks
+// a real page table in simulated physical memory and coalesces adjacent
+// leaves with identical attributes into regions. cmd/ckirun's -dump
+// flag and the layout tests use it.
+package inspect
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// Region is a maximal run of identically-mapped virtual memory.
+type Region struct {
+	Start, End uint64
+	Writable   bool
+	User       bool
+	NX         bool
+	Huge       bool
+	PKey       int
+	Pages      int
+}
+
+// attrs summarizes permissions compactly ("rw-/user pkey=2").
+func (r Region) attrs() string {
+	var b strings.Builder
+	b.WriteByte('r')
+	if r.Writable {
+		b.WriteByte('w')
+	} else {
+		b.WriteByte('-')
+	}
+	if r.NX {
+		b.WriteByte('-')
+	} else {
+		b.WriteByte('x')
+	}
+	if r.User {
+		b.WriteString(" user")
+	} else {
+		b.WriteString(" kern")
+	}
+	if r.Huge {
+		b.WriteString(" 2M")
+	}
+	if r.PKey != 0 {
+		fmt.Fprintf(&b, " pkey=%d", r.PKey)
+	}
+	return b.String()
+}
+
+// Walk enumerates every mapped region under root, coalescing runs.
+func Walk(m *mem.PhysMem, root mem.PFN) []Region {
+	var out []Region
+	var cur *Region
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	visit := func(va uint64, e pagetable.PTE, huge bool, wAgg, uAgg bool) {
+		size := uint64(mem.PageSize)
+		if huge {
+			size = mem.HugePageSize
+		}
+		w := wAgg && e.Writable()
+		u := uAgg && e.User()
+		if cur != nil && cur.End == va &&
+			cur.Writable == w && cur.User == u &&
+			cur.NX == e.NX() && cur.PKey == e.PKey() && cur.Huge == huge {
+			cur.End += size
+			cur.Pages++
+			return
+		}
+		flush()
+		cur = &Region{
+			Start: va, End: va + size,
+			Writable: w, User: u, NX: e.NX(),
+			Huge: huge, PKey: e.PKey(), Pages: 1,
+		}
+	}
+	var walkLevel func(ptp mem.PFN, level int, base uint64, w, u bool)
+	walkLevel = func(ptp mem.PFN, level int, base uint64, w, u bool) {
+		span := uint64(1) << (12 + 9*uint(level-1))
+		for i := 0; i < mem.WordsPerPage; i++ {
+			e := pagetable.ReadEntry(m, ptp, i)
+			if !e.Present() {
+				continue
+			}
+			va := base + uint64(i)*span
+			if level == pagetable.LevelPML4 && i >= 256 {
+				// Canonical high half: sign-extend.
+				va |= 0xffff_0000_0000_0000
+			}
+			if level == pagetable.LevelPT || (level == pagetable.LevelPD && e.Huge()) {
+				visit(va, e, level == pagetable.LevelPD, w, u)
+				continue
+			}
+			walkLevel(e.PFN(), level-1, va, w && e.Writable(), u && e.User())
+		}
+	}
+	walkLevel(root, pagetable.LevelPML4, 0, true, true)
+	flush()
+	return out
+}
+
+// Render formats the regions as a table.
+func Render(m *mem.PhysMem, root mem.PFN) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "address space @ root %#x\n", uint64(root))
+	total := 0
+	for _, r := range Walk(m, root) {
+		fmt.Fprintf(&b, "  %#018x-%#018x  %8d pages  %s\n", r.Start, r.End, r.Pages, r.attrs())
+		total += r.Pages
+	}
+	fmt.Fprintf(&b, "  total: %d mapped pages\n", total)
+	return b.String()
+}

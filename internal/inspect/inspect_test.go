@@ -1,0 +1,104 @@
+package inspect_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/cki"
+	"repro/internal/guest"
+	"repro/internal/inspect"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func TestWalkCoalescesRegions(t *testing.T) {
+	c := backends.MustNew(backends.RunC, backends.Options{})
+	k := c.K
+	addr, err := k.MmapCall(16*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 16*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	regions := inspect.Walk(c.HostMem, c.CPU.CR3())
+	var found *inspect.Region
+	for i := range regions {
+		if regions[i].Start == addr {
+			found = &regions[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("mmap region not found in %d regions", len(regions))
+	}
+	if found.Pages != 16 || !found.Writable || !found.User {
+		t.Errorf("region = %+v, want 16 rw user pages", *found)
+	}
+	// Splitting the protection splits the region.
+	if err := k.MprotectCall(addr, 4*mem.PageSize, guest.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	regions = inspect.Walk(c.HostMem, c.CPU.CR3())
+	var ro, rw int
+	for _, r := range regions {
+		if r.Start >= addr && r.End <= addr+16*mem.PageSize {
+			if r.Writable {
+				rw += r.Pages
+			} else {
+				ro += r.Pages
+			}
+		}
+	}
+	if ro != 4 || rw != 12 {
+		t.Errorf("after mprotect: ro=%d rw=%d, want 4/12", ro, rw)
+	}
+}
+
+func TestCKILayoutVisible(t *testing.T) {
+	// The per-vCPU copy must show the guest kernel image (kernel half),
+	// the KSM regions with their protection keys, and user memory.
+	c := backends.MustNew(backends.CKI, backends.Options{})
+	k := c.K
+	addr, err := k.MmapCall(4*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 4*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	var sawKernText, sawKSM, sawPerVCPU, sawUser bool
+	for _, r := range inspect.Walk(c.HostMem, c.CPU.CR3()) {
+		switch {
+		case r.Start == guest.KernBase && !r.User && !r.NX && !r.Writable:
+			sawKernText = true
+		case r.Start == cki.KSMBase && r.PKey == cki.KeyKSM:
+			sawKSM = true
+		case r.Start == cki.PerVCPUBase && r.PKey == cki.KeyKSM:
+			sawPerVCPU = true
+		case r.Start == addr && r.User && r.Writable:
+			sawUser = true
+		}
+	}
+	if !sawKernText || !sawKSM || !sawPerVCPU || !sawUser {
+		t.Errorf("layout incomplete: text=%v ksm=%v pervcpu=%v user=%v\n%s",
+			sawKernText, sawKSM, sawPerVCPU, sawUser,
+			inspect.Render(c.HostMem, c.CPU.CR3()))
+	}
+	// The guest's own root must NOT contain the KSM regions.
+	for _, r := range inspect.Walk(c.HostMem, k.Cur.AS.Root) {
+		if r.Start == cki.KSMBase || r.Start == cki.PerVCPUBase {
+			t.Errorf("guest-visible root maps KSM region at %#x", r.Start)
+		}
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	c := backends.MustNew(backends.CKI, backends.Options{})
+	out := inspect.Render(c.HostMem, c.CPU.CR3())
+	for _, want := range []string{"address space", "pkey=1", "kern", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package interrupt implements the virtual-interrupt machinery of the
+// para-virtualized container model (§4.1): all hardware interrupts are
+// handled by the host kernel, which posts *virtual* interrupts to the
+// guest; the guest's interrupt-enable state is an in-memory bit visible
+// to the host instead of the (blocked) cli/sti instructions, and
+// posted interrupts stay pending while that bit is clear.
+package interrupt
+
+import (
+	"repro/internal/clock"
+)
+
+// Controller is one container's virtual interrupt controller.
+type Controller struct {
+	pending []int
+	// enabled is the guest's in-memory virtual-IF bit.
+	enabled bool
+
+	Stats struct {
+		Posted    uint64
+		Delivered uint64
+		Deferred  uint64
+	}
+}
+
+// New creates a controller with interrupts enabled.
+func New() *Controller { return &Controller{enabled: true} }
+
+// SetEnabled updates the in-memory interrupt-enable bit (the guest
+// kernel's replacement for cli/sti).
+func (c *Controller) SetEnabled(on bool) { c.enabled = on }
+
+// Enabled reports the virtual-IF bit.
+func (c *Controller) Enabled() bool { return c.enabled }
+
+// Post queues a virtual interrupt from the host side.
+func (c *Controller) Post(vector int) {
+	c.pending = append(c.pending, vector)
+	c.Stats.Posted++
+}
+
+// Pending reports queued, undelivered interrupts.
+func (c *Controller) Pending() int { return len(c.pending) }
+
+// Drain delivers every pending interrupt through deliver while the
+// virtual-IF bit is set; with it clear, the interrupts stay queued
+// (deferred) exactly as the host would hold them until guest resume.
+func (c *Controller) Drain(deliver func(vector int) error) error {
+	if !c.enabled {
+		c.Stats.Deferred += uint64(len(c.pending))
+		return nil
+	}
+	for len(c.pending) > 0 {
+		v := c.pending[0]
+		c.pending = c.pending[1:]
+		c.Stats.Delivered++
+		if err := deliver(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timer is a periodic virtual-time tick source driving preemption.
+type Timer struct {
+	// Period is the timeslice.
+	Period clock.Time
+	last   clock.Time
+}
+
+// Due reports whether a tick is due at now, consuming it if so. Long
+// gaps yield a single tick (ticks do not accumulate), matching a
+// one-shot reprogrammed timer.
+func (t *Timer) Due(now clock.Time) bool {
+	if t.Period <= 0 {
+		return false
+	}
+	if now-t.last >= t.Period {
+		t.last = now
+		return true
+	}
+	return false
+}
+
+// Reset rearms the timer relative to now.
+func (t *Timer) Reset(now clock.Time) { t.last = now }

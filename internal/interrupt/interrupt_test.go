@@ -1,0 +1,76 @@
+package interrupt
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestPostDrain(t *testing.T) {
+	c := New()
+	c.Post(32)
+	c.Post(33)
+	var got []int
+	if err := c.Drain(func(v int) error { got = append(got, v); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 32 || got[1] != 33 {
+		t.Errorf("delivered %v, want [32 33] in order", got)
+	}
+	if c.Pending() != 0 {
+		t.Error("pending after drain")
+	}
+	s := c.Stats
+	if s.Posted != 2 || s.Delivered != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMaskedInterruptsDefer(t *testing.T) {
+	c := New()
+	c.SetEnabled(false)
+	c.Post(32)
+	delivered := 0
+	if err := c.Drain(func(int) error { delivered++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Error("delivered while masked")
+	}
+	if c.Pending() != 1 || c.Stats.Deferred != 1 {
+		t.Errorf("pending=%d deferred=%d, want 1/1", c.Pending(), c.Stats.Deferred)
+	}
+	// Unmask: delivery proceeds.
+	c.SetEnabled(true)
+	if err := c.Drain(func(int) error { delivered++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d after unmask, want 1", delivered)
+	}
+}
+
+func TestTimerTicks(t *testing.T) {
+	tm := Timer{Period: 10 * clock.Microsecond}
+	if tm.Due(5 * clock.Microsecond) {
+		t.Error("tick before period")
+	}
+	if !tm.Due(10 * clock.Microsecond) {
+		t.Error("no tick at period")
+	}
+	if tm.Due(15 * clock.Microsecond) {
+		t.Error("tick rearmed too early")
+	}
+	// A long gap yields a single tick (one-shot semantics).
+	if !tm.Due(200 * clock.Microsecond) {
+		t.Error("no tick after long gap")
+	}
+	if tm.Due(205 * clock.Microsecond) {
+		t.Error("ticks accumulated across the gap")
+	}
+	// Zero period: never due.
+	var off Timer
+	if off.Due(clock.Second) {
+		t.Error("disabled timer ticked")
+	}
+}

@@ -1,0 +1,224 @@
+// Package mem models the physical memory of the simulated machine.
+//
+// Physical memory is an array of 4 KiB frames. Frame contents (512
+// 64-bit words) are allocated lazily, so a simulated machine can expose
+// many gigabytes of physical address space while only frames that are
+// actually written — page tables, file data, device rings — consume host
+// memory. Workload data pages that are merely touched never materialize.
+//
+// Two allocators are provided, mirroring the paper's memory-provisioning
+// split: a free-list frame allocator used by kernels for page tables and
+// kernel objects, and a contiguous segment allocator used by the CKI host
+// kernel to delegate physical-address ranges to guest kernels (§3.3:
+// "The host kernel provides each guest VM with some contiguous segments
+// of hPA that are directly managed by the memory manager in the guest").
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Page geometry of the simulated machine (x86-64, 4-level paging).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	PageMask  = PageSize - 1
+	// WordsPerPage is the number of 64-bit words in one frame; a
+	// page-table page holds this many entries.
+	WordsPerPage = PageSize / 8 // 512
+	// HugePageSize is the 2 MiB mapping granule used by the hugepage
+	// experiments (Fig. 12 "2M" bars, Table 4).
+	HugePageSize = 2 << 20
+)
+
+// PFN is a physical frame number.
+type PFN uint64
+
+// Addr returns the physical byte address of the start of the frame.
+func (p PFN) Addr() uint64 { return uint64(p) << PageShift }
+
+// PFNOf returns the frame containing physical address pa.
+func PFNOf(pa uint64) PFN { return PFN(pa >> PageShift) }
+
+// NoOwner marks an unowned frame.
+const NoOwner = -1
+
+// Page is the lazily-materialized contents of one frame.
+type Page [WordsPerPage]uint64
+
+// Segment is a contiguous physical range delegated to one guest kernel.
+type Segment struct {
+	Base   PFN
+	Frames int
+}
+
+// Contains reports whether pfn falls inside the segment.
+func (s Segment) Contains(pfn PFN) bool {
+	return pfn >= s.Base && pfn < s.Base+PFN(s.Frames)
+}
+
+// End returns the first frame past the segment.
+func (s Segment) End() PFN { return s.Base + PFN(s.Frames) }
+
+// Errors returned by the allocators.
+var (
+	ErrOutOfMemory  = errors.New("mem: out of physical memory")
+	ErrFragmented   = errors.New("mem: no contiguous run large enough")
+	ErrDoubleFree   = errors.New("mem: frame already free")
+	ErrOutOfRange   = errors.New("mem: frame out of range")
+	ErrNotAllocated = errors.New("mem: frame not allocated")
+)
+
+// PhysMem is the physical memory of one simulated machine. It is not
+// safe for concurrent use; the simulator is single-threaded per machine.
+type PhysMem struct {
+	frames    int
+	pages     map[PFN]*Page
+	allocated []bool
+	owner     []int32
+	// nextFree is a rotating scan cursor for single-frame allocation.
+	nextFree PFN
+	// segCursor is a bump cursor for contiguous segment allocation; the
+	// segment region grows from the top of memory downward so single
+	// frames and segments rarely collide.
+	segCursor PFN
+	inUse     int
+}
+
+// New creates a physical memory of the given number of 4 KiB frames.
+// Frame 0 is reserved (a zero PFN in a PTE means "not present" in the
+// paging model), matching real kernels that avoid handing out page 0.
+func New(frames int) *PhysMem {
+	if frames < 2 {
+		panic("mem: need at least 2 frames")
+	}
+	m := &PhysMem{
+		frames:    frames,
+		pages:     make(map[PFN]*Page),
+		allocated: make([]bool, frames),
+		owner:     make([]int32, frames),
+		nextFree:  1,
+		segCursor: PFN(frames),
+	}
+	for i := range m.owner {
+		m.owner[i] = NoOwner
+	}
+	m.allocated[0] = true // reserve frame 0
+	return m
+}
+
+// Frames returns the total number of frames.
+func (m *PhysMem) Frames() int { return m.frames }
+
+// InUse returns the number of allocated frames (excluding reserved 0).
+func (m *PhysMem) InUse() int { return m.inUse }
+
+// Alloc allocates one frame and assigns it to owner.
+func (m *PhysMem) Alloc(owner int) (PFN, error) {
+	for scanned := 0; scanned < m.frames; scanned++ {
+		p := m.nextFree
+		m.nextFree++
+		if m.nextFree >= PFN(m.frames) {
+			m.nextFree = 1
+		}
+		if p >= m.segCursor { // inside the segment region
+			continue
+		}
+		if !m.allocated[p] {
+			m.allocated[p] = true
+			m.owner[p] = int32(owner)
+			m.inUse++
+			return p, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// AllocSegment allocates n physically contiguous frames for owner. CKI
+// uses this to delegate hPA ranges to guest kernels.
+func (m *PhysMem) AllocSegment(n, owner int) (Segment, error) {
+	if n <= 0 {
+		return Segment{}, fmt.Errorf("mem: bad segment size %d", n)
+	}
+	if m.segCursor < PFN(n)+1 {
+		return Segment{}, ErrFragmented
+	}
+	base := m.segCursor - PFN(n)
+	// Ensure the run is genuinely free (the single-frame allocator never
+	// strays above segCursor, but a prior Free could have been misused).
+	for p := base; p < m.segCursor; p++ {
+		if m.allocated[p] {
+			return Segment{}, ErrFragmented
+		}
+	}
+	for p := base; p < m.segCursor; p++ {
+		m.allocated[p] = true
+		m.owner[p] = int32(owner)
+	}
+	m.inUse += n
+	m.segCursor = base
+	return Segment{Base: base, Frames: n}, nil
+}
+
+// Free releases a single frame.
+func (m *PhysMem) Free(p PFN) error {
+	if p == 0 || p >= PFN(m.frames) {
+		return ErrOutOfRange
+	}
+	if !m.allocated[p] {
+		return ErrDoubleFree
+	}
+	m.allocated[p] = false
+	m.owner[p] = NoOwner
+	delete(m.pages, p)
+	m.inUse--
+	return nil
+}
+
+// Owner returns the owner tag of a frame, or NoOwner.
+func (m *PhysMem) Owner(p PFN) int {
+	if p >= PFN(m.frames) {
+		return NoOwner
+	}
+	return int(m.owner[p])
+}
+
+// Allocated reports whether frame p is currently allocated.
+func (m *PhysMem) Allocated(p PFN) bool {
+	return p < PFN(m.frames) && m.allocated[p]
+}
+
+// Page returns the backing contents of frame p, materializing them on
+// first use. Reading a never-written frame observes zeros, like real
+// zeroed physical memory.
+func (m *PhysMem) Page(p PFN) *Page {
+	if p >= PFN(m.frames) {
+		panic(fmt.Sprintf("mem: PFN %#x out of range", uint64(p)))
+	}
+	pg := m.pages[p]
+	if pg == nil {
+		pg = new(Page)
+		m.pages[p] = pg
+	}
+	return pg
+}
+
+// ReadWord reads the 64-bit word at physical address pa (must be 8-byte
+// aligned).
+func (m *PhysMem) ReadWord(pa uint64) uint64 {
+	pfn := PFNOf(pa)
+	if pfn >= PFN(m.frames) {
+		panic(fmt.Sprintf("mem: physical read at %#x out of range", pa))
+	}
+	pg := m.pages[pfn]
+	if pg == nil {
+		return 0
+	}
+	return pg[(pa&PageMask)/8]
+}
+
+// WriteWord writes the 64-bit word at physical address pa.
+func (m *PhysMem) WriteWord(pa uint64, v uint64) {
+	m.Page(PFNOf(pa))[(pa&PageMask)/8] = v
+}

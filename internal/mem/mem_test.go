@@ -1,0 +1,176 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFree(t *testing.T) {
+	m := New(64)
+	p, err := m.Alloc(7)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if p == 0 {
+		t.Fatal("Alloc returned reserved frame 0")
+	}
+	if got := m.Owner(p); got != 7 {
+		t.Errorf("Owner = %d, want 7", got)
+	}
+	if !m.Allocated(p) {
+		t.Error("Allocated = false after Alloc")
+	}
+	if err := m.Free(p); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if m.Allocated(p) {
+		t.Error("Allocated = true after Free")
+	}
+	if err := m.Free(p); err != ErrDoubleFree {
+		t.Errorf("double Free err = %v, want ErrDoubleFree", err)
+	}
+	if err := m.Free(0); err != ErrOutOfRange {
+		t.Errorf("Free(0) err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := New(8)
+	var got []PFN
+	for {
+		p, err := m.Alloc(1)
+		if err != nil {
+			if err != ErrOutOfMemory {
+				t.Fatalf("err = %v, want ErrOutOfMemory", err)
+			}
+			break
+		}
+		got = append(got, p)
+	}
+	if len(got) != 7 { // 8 frames minus reserved frame 0
+		t.Errorf("allocated %d frames, want 7", len(got))
+	}
+	seen := map[PFN]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Errorf("frame %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllocSegmentContiguity(t *testing.T) {
+	m := New(256)
+	s1, err := m.AllocSegment(32, 1)
+	if err != nil {
+		t.Fatalf("AllocSegment: %v", err)
+	}
+	if s1.Frames != 32 {
+		t.Errorf("Frames = %d, want 32", s1.Frames)
+	}
+	s2, err := m.AllocSegment(16, 2)
+	if err != nil {
+		t.Fatalf("AllocSegment 2: %v", err)
+	}
+	if s2.End() != s1.Base {
+		t.Errorf("segments not adjacent: s2 ends at %d, s1 starts at %d", s2.End(), s1.Base)
+	}
+	for p := s1.Base; p < s1.End(); p++ {
+		if m.Owner(p) != 1 {
+			t.Fatalf("frame %d owner = %d, want 1", p, m.Owner(p))
+		}
+	}
+	if !s1.Contains(s1.Base) || s1.Contains(s1.End()) {
+		t.Error("Contains boundary conditions wrong")
+	}
+}
+
+func TestAllocSegmentTooLarge(t *testing.T) {
+	m := New(64)
+	if _, err := m.AllocSegment(64, 1); err != ErrFragmented {
+		t.Errorf("err = %v, want ErrFragmented", err)
+	}
+	if _, err := m.AllocSegment(0, 1); err == nil {
+		t.Error("AllocSegment(0) succeeded, want error")
+	}
+}
+
+func TestSegmentsAndFramesDisjoint(t *testing.T) {
+	m := New(128)
+	seg, err := m.AllocSegment(100, 1)
+	if err != nil {
+		t.Fatalf("AllocSegment: %v", err)
+	}
+	for {
+		p, err := m.Alloc(2)
+		if err != nil {
+			break
+		}
+		if seg.Contains(p) {
+			t.Fatalf("single-frame Alloc returned %d inside segment [%d,%d)", p, seg.Base, seg.End())
+		}
+	}
+}
+
+func TestLazyPageContents(t *testing.T) {
+	m := New(64)
+	p, _ := m.Alloc(1)
+	if got := m.ReadWord(p.Addr() + 16); got != 0 {
+		t.Errorf("fresh frame reads %d, want 0", got)
+	}
+	m.WriteWord(p.Addr()+16, 0xdeadbeef)
+	if got := m.ReadWord(p.Addr() + 16); got != 0xdeadbeef {
+		t.Errorf("ReadWord = %#x, want 0xdeadbeef", got)
+	}
+	// Free drops contents; a re-allocated frame must read zero again.
+	if err := m.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	m.allocated[p] = true // simulate re-allocation of the same frame
+	if got := m.ReadWord(p.Addr() + 16); got != 0 {
+		t.Errorf("recycled frame reads %#x, want 0", got)
+	}
+}
+
+func TestPFNAddrRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		p := PFN(n)
+		return PFNOf(p.Addr()) == p && PFNOf(p.Addr()+PageMask) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any interleaving of allocs and frees, InUse equals the
+// number of live frames and no frame is handed out twice.
+func TestAllocatorInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := New(32)
+		var live []PFN
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				p, err := m.Alloc(0)
+				if err != nil {
+					continue
+				}
+				for _, q := range live {
+					if q == p {
+						return false
+					}
+				}
+				live = append(live, p)
+			} else {
+				p := live[len(live)-1]
+				live = live[:len(live)-1]
+				if m.Free(p) != nil {
+					return false
+				}
+			}
+		}
+		return m.InUse() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

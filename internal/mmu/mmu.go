@@ -1,0 +1,172 @@
+// Package mmu combines the page-table walker, the TLB, and the MPK
+// permission model into the memory-access path every simulated load,
+// store and fetch goes through.
+//
+// The permission model follows the Intel SDM: user/supervisor and
+// writable bits aggregate along the walk; NX blocks fetches; protection
+// keys apply to data accesses only — PKRU to user pages, PKRS to
+// supervisor pages. A PKS violation on a supervisor page is exactly the
+// fault a CKI guest kernel takes when it reaches into KSM memory or
+// writes a page-table page directly.
+package mmu
+
+import (
+	"repro/internal/clock"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+)
+
+// Access is the kind of memory access being performed.
+type Access int
+
+// Access kinds.
+const (
+	Read Access = iota
+	Write
+	Exec
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return "exec"
+	}
+}
+
+// Unit is the MMU of one simulated core. Dimensionality of walks (one-
+// stage vs EPT) is a property of the caller's translation regime: Unit
+// charges the walk cost the caller declares via Dim.
+type Unit struct {
+	Mem   *mem.PhysMem
+	TLB   *tlb.TLB
+	Costs *clock.Costs
+}
+
+// Dim selects the TLB-miss cost class for a translation regime.
+type Dim int
+
+// Walk dimensionalities.
+const (
+	// Dim1D is a native or shadow single-stage walk.
+	Dim1D Dim = iota
+	// Dim2D is a two-dimensional (guest PT × EPT) walk.
+	Dim2D
+)
+
+// New creates an MMU over m with a default-capacity TLB.
+func New(m *mem.PhysMem, costs *clock.Costs) *Unit {
+	return &Unit{Mem: m, TLB: tlb.New(0), Costs: costs}
+}
+
+// missCost returns the hardware fill cost for a miss.
+func (u *Unit) missCost(d Dim, huge bool) clock.Time {
+	switch {
+	case d == Dim1D && !huge:
+		return u.Costs.TLBMiss1D
+	case d == Dim1D:
+		return u.Costs.TLBMiss1D2M
+	case d == Dim2D && !huge:
+		return u.Costs.TLBMiss2D
+	default:
+		return u.Costs.TLBMiss2D2M
+	}
+}
+
+// Check applies the aggregated-permission and protection-key rules for
+// one access and returns the fault, if any. It is exported because the
+// HVM backend runs its own two-dimensional walk and reuses the rules.
+func Check(cpu *hw.CPU, e tlb.Entry, va uint64, acc Access) *hw.Fault {
+	mode := cpu.Mode()
+	if mode == hw.ModeUser && !e.User {
+		return &hw.Fault{Kind: hw.FaultProtection, Addr: va, Write: acc == Write, Mode: mode}
+	}
+	if acc == Exec {
+		if e.NX {
+			return &hw.Fault{Kind: hw.FaultProtection, Addr: va, Mode: mode}
+		}
+		return nil // protection keys never apply to instruction fetches
+	}
+	if acc == Write && !e.Writable {
+		// CR0.WP is always set in the simulator: supervisor writes to
+		// read-only pages fault like user writes.
+		return &hw.Fault{Kind: hw.FaultProtection, Addr: va, Write: true, Mode: mode}
+	}
+	if e.PKey != 0 {
+		if e.User {
+			r := cpu.PKRU()
+			if r.AD(e.PKey) || (acc == Write && r.WD(e.PKey)) {
+				return &hw.Fault{Kind: hw.FaultPKU, Addr: va, Write: acc == Write, Mode: mode}
+			}
+		} else if mode == hw.ModeKernel {
+			r := cpu.PKRS()
+			if r.AD(e.PKey) || (acc == Write && r.WD(e.PKey)) {
+				return &hw.Fault{Kind: hw.FaultPKS, Addr: va, Write: acc == Write, Mode: mode}
+			}
+		}
+	}
+	return nil
+}
+
+// Result reports a completed access.
+type Result struct {
+	PA     uint64
+	Missed bool
+}
+
+// Access translates va through the table rooted at root (tagged with
+// the CPU's current PCID) and enforces permissions for acc. TLB-miss
+// fill costs for dimensionality d are charged to clk. Page faults are
+// returned, *not* charged: trap delivery cost is the backend's business.
+func (u *Unit) Access(clk *clock.Clock, cpu *hw.CPU, root mem.PFN, va uint64, acc Access, d Dim) (Result, *hw.Fault) {
+	pcid := cpu.PCID()
+	if e, ok := u.TLB.Lookup(pcid, va); ok {
+		if f := Check(cpu, e, va, acc); f != nil {
+			return Result{}, f
+		}
+		off := va & mem.PageMask
+		if e.Huge {
+			off = va & (mem.HugePageSize - 1)
+		}
+		return Result{PA: e.PFN.Addr() + off}, nil
+	}
+	w, err := pagetable.Translate(u.Mem, root, va)
+	if err != nil {
+		return Result{}, &hw.Fault{Kind: hw.FaultNotMapped, Addr: va, Write: acc == Write, Mode: cpu.Mode()}
+	}
+	clk.Advance(u.missCost(d, w.Huge))
+	e := tlb.Entry{
+		PFN:      mem.PFNOf(w.PA &^ uint64(mem.PageMask)),
+		Writable: w.Writable,
+		User:     w.User,
+		NX:       w.NX,
+		Global:   w.Global,
+		Huge:     w.Huge,
+		PKey:     w.PKey,
+	}
+	if f := Check(cpu, e, va, acc); f != nil {
+		// Permission faults are detected during the walk; nothing is
+		// cached (hardware does not cache faulting translations).
+		return Result{}, f
+	}
+	pagetable.SetAccessedDirty(u.Mem, w, acc == Write)
+	if w.Huge {
+		// Cache the whole 2 MiB region under its region key.
+		e.PFN = mem.PFNOf(w.PA &^ uint64(mem.HugePageSize-1))
+	}
+	u.TLB.Insert(pcid, va, e)
+	return Result{PA: w.PA, Missed: true}, nil
+}
+
+// Hooks returns TLB hooks for wiring a CPU's invlpg/invpcid to this MMU.
+func (u *Unit) Hooks() hw.TLBHooks {
+	return hw.TLBHooks{
+		Invlpg:  func(pcid uint16, va uint64) { u.TLB.FlushPage(pcid, va) },
+		Invpcid: func(pcid uint16) { u.TLB.FlushPCID(pcid) },
+	}
+}

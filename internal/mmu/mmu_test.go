@@ -1,0 +1,231 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+)
+
+type fixture struct {
+	m    *mem.PhysMem
+	u    *Unit
+	mp   *pagetable.Mapper
+	cpu  *hw.CPU
+	clk  *clock.Clock
+	root mem.PFN
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	m := mem.New(512)
+	root, err := m.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(m, clock.DefaultCosts())
+	cpu := hw.NewCPU(0, true)
+	if f := cpu.WriteCR3(root, 1); f != nil {
+		t.Fatal(f)
+	}
+	return &fixture{
+		m:   m,
+		u:   u,
+		cpu: cpu,
+		clk: new(clock.Clock),
+		mp: &pagetable.Mapper{
+			Mem:   m,
+			Root:  root,
+			Alloc: func() (mem.PFN, error) { return m.Alloc(0) },
+			Sink:  pagetable.RawSink(m),
+		},
+		root: root,
+	}
+}
+
+func (f *fixture) mapPage(t *testing.T, va uint64, flags pagetable.PTE, pkey int) mem.PFN {
+	t.Helper()
+	pfn, err := f.m.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mp.Map(va, pfn, flags, pkey); err != nil {
+		t.Fatal(err)
+	}
+	return pfn
+}
+
+func TestAccessHitAndMissCosts(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x10000, pagetable.FlagWritable|pagetable.FlagUser, 0)
+	f.cpu.SetMode(hw.ModeUser)
+
+	r, flt := f.u.Access(f.clk, f.cpu, f.root, 0x10004, Read, Dim1D)
+	if flt != nil {
+		t.Fatal(flt)
+	}
+	if !r.Missed {
+		t.Error("first access did not miss")
+	}
+	if got := f.clk.Now(); got != f.u.Costs.TLBMiss1D {
+		t.Errorf("miss charged %v, want %v", got, f.u.Costs.TLBMiss1D)
+	}
+	before := f.clk.Now()
+	r2, flt := f.u.Access(f.clk, f.cpu, f.root, 0x10008, Read, Dim1D)
+	if flt != nil {
+		t.Fatal(flt)
+	}
+	if r2.Missed || f.clk.Now() != before {
+		t.Error("TLB hit charged time or reported a miss")
+	}
+	if r2.PA != r.PA+4 {
+		t.Errorf("PA = %#x, want %#x", r2.PA, r.PA+4)
+	}
+}
+
+func TestDim2DCost(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x10000, pagetable.FlagWritable|pagetable.FlagUser, 0)
+	f.cpu.SetMode(hw.ModeUser)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x10000, Read, Dim2D); flt != nil {
+		t.Fatal(flt)
+	}
+	if got := f.clk.Now(); got != f.u.Costs.TLBMiss2D {
+		t.Errorf("2D miss charged %v, want %v", got, f.u.Costs.TLBMiss2D)
+	}
+}
+
+func TestUserCannotTouchSupervisorPage(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x20000, pagetable.FlagWritable, 0) // U=0
+	f.cpu.SetMode(hw.ModeUser)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x20000, Read, Dim1D); flt == nil || flt.Kind != hw.FaultProtection {
+		t.Errorf("fault = %v, want FaultProtection", flt)
+	}
+	// Kernel mode can.
+	f.cpu.SetMode(hw.ModeKernel)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x20000, Read, Dim1D); flt != nil {
+		t.Errorf("kernel access faulted: %v", flt)
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x30000, pagetable.FlagUser, 0) // read-only
+	f.cpu.SetMode(hw.ModeUser)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x30000, Write, Dim1D); flt == nil || flt.Kind != hw.FaultProtection {
+		t.Errorf("user RO write fault = %v, want FaultProtection", flt)
+	}
+	// Supervisor writes honour WP too.
+	f.cpu.SetMode(hw.ModeKernel)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x30000, Write, Dim1D); flt == nil || flt.Kind != hw.FaultProtection {
+		t.Errorf("kernel RO write (WP) fault = %v, want FaultProtection", flt)
+	}
+}
+
+func TestNXBlocksFetchOnly(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x40000, pagetable.FlagUser|pagetable.FlagNX, 0)
+	f.cpu.SetMode(hw.ModeUser)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x40000, Exec, Dim1D); flt == nil || flt.Kind != hw.FaultProtection {
+		t.Errorf("NX fetch fault = %v, want FaultProtection", flt)
+	}
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x40000, Read, Dim1D); flt != nil {
+		t.Errorf("NX read faulted: %v", flt)
+	}
+}
+
+func TestPKSGuardsSupervisorPages(t *testing.T) {
+	// The CKI scenario: KSM memory carries pkey 1 (no access for the
+	// guest), PTPs carry pkey 2 (read-only for the guest).
+	f := newFixture(t)
+	f.mapPage(t, 0x50000, pagetable.FlagWritable, 1) // KSM data page
+	f.mapPage(t, 0x51000, pagetable.FlagWritable, 2) // a PTP
+	guestPKRS := hw.PKReg(0).With(1, true, true).With(2, false, true)
+	if flt := f.cpu.Wrpkrs(guestPKRS); flt != nil {
+		t.Fatal(flt)
+	}
+	// Guest kernel: KSM page inaccessible.
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x50000, Read, Dim1D); flt == nil || flt.Kind != hw.FaultPKS {
+		t.Errorf("KSM read fault = %v, want FaultPKS", flt)
+	}
+	// PTP readable but not writable.
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x51000, Read, Dim1D); flt != nil {
+		t.Errorf("PTP read faulted: %v", flt)
+	}
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x51000, Write, Dim1D); flt == nil || flt.Kind != hw.FaultPKS {
+		t.Errorf("PTP write fault = %v, want FaultPKS", flt)
+	}
+	// The KSM (PKRS == 0) passes everywhere.
+	if flt := f.cpu.Wrpkrs(0); flt != nil {
+		t.Fatal(flt)
+	}
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x50000, Write, Dim1D); flt != nil {
+		t.Errorf("KSM self-access faulted: %v", flt)
+	}
+}
+
+func TestPKUGuardsUserPages(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x60000, pagetable.FlagWritable|pagetable.FlagUser, 4)
+	f.cpu.SetMode(hw.ModeUser)
+	f.cpu.Wrpkru(hw.PKReg(0).With(4, false, true)) // write-disable key 4
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x60000, Read, Dim1D); flt != nil {
+		t.Errorf("PKU read faulted: %v", flt)
+	}
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x60000, Write, Dim1D); flt == nil || flt.Kind != hw.FaultPKU {
+		t.Errorf("PKU write fault = %v, want FaultPKU", flt)
+	}
+}
+
+func TestNotMappedFault(t *testing.T) {
+	f := newFixture(t)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0xdead000, Read, Dim1D); flt == nil || flt.Kind != hw.FaultNotMapped {
+		t.Errorf("fault = %v, want FaultNotMapped", flt)
+	}
+	if f.clk.Now() != 0 {
+		t.Error("failed walk charged fill cost")
+	}
+}
+
+func TestAccessSetsADBits(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x70000, pagetable.FlagWritable|pagetable.FlagUser, 0)
+	f.cpu.SetMode(hw.ModeUser)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x70000, Write, Dim1D); flt != nil {
+		t.Fatal(flt)
+	}
+	w, err := pagetable.Translate(f.m, f.root, 0x70000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pagetable.ReadEntry(f.m, w.Slot.PTP, w.Slot.Index)
+	if e&pagetable.FlagAccessed == 0 || e&pagetable.FlagDirty == 0 {
+		t.Errorf("A/D not set on write fill: %v", e)
+	}
+}
+
+func TestInvlpgHookFlushesOwnPCIDOnly(t *testing.T) {
+	f := newFixture(t)
+	f.mapPage(t, 0x80000, pagetable.FlagWritable|pagetable.FlagUser, 0)
+	f.cpu.SetTLBHooks(f.u.Hooks())
+	f.cpu.SetMode(hw.ModeUser)
+	if _, flt := f.u.Access(f.clk, f.cpu, f.root, 0x80000, Read, Dim1D); flt != nil {
+		t.Fatal(flt)
+	}
+	// Seed an entry for another PCID directly.
+	f.u.TLB.Insert(7, 0x80000, tlb.Entry{PFN: 99})
+	f.cpu.SetMode(hw.ModeKernel)
+	if flt := f.cpu.Invlpg(0x80000); flt != nil {
+		t.Fatal(flt)
+	}
+	if _, ok := f.u.TLB.Lookup(f.cpu.PCID(), 0x80000); ok {
+		t.Error("own entry survived invlpg")
+	}
+	if _, ok := f.u.TLB.Lookup(7, 0x80000); !ok {
+		t.Error("foreign PCID entry flushed by invlpg")
+	}
+}

@@ -1,0 +1,259 @@
+package pagetable
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func testMapper(t *testing.T, frames int) (*mem.PhysMem, *Mapper) {
+	t.Helper()
+	m := mem.New(frames)
+	root, err := m.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, &Mapper{
+		Mem:  m,
+		Root: root,
+		Alloc: func() (mem.PFN, error) {
+			return m.Alloc(0)
+		},
+		Sink: RawSink(m),
+	}
+}
+
+func TestMapTranslateRoundTrip(t *testing.T) {
+	m, mp := testMapper(t, 256)
+	data, _ := m.Alloc(0)
+	const va = 0x7f00_1234_5000
+	if err := mp.Map(va, data, FlagWritable|FlagUser, 3); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	w, err := Translate(m, mp.Root, va+0x123)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if w.PA != data.Addr()+0x123 {
+		t.Errorf("PA = %#x, want %#x", w.PA, data.Addr()+0x123)
+	}
+	if !w.Writable || !w.User || w.NX {
+		t.Errorf("perms = W:%v U:%v NX:%v, want W U !NX", w.Writable, w.User, w.NX)
+	}
+	if w.PKey != 3 {
+		t.Errorf("PKey = %d, want 3", w.PKey)
+	}
+	if w.Refs != 4 {
+		t.Errorf("Refs = %d, want 4 (4-level walk)", w.Refs)
+	}
+	if w.Level != LevelPT || w.Huge {
+		t.Errorf("Level/Huge = %d/%v, want 1/false", w.Level, w.Huge)
+	}
+}
+
+func TestTranslateNotMapped(t *testing.T) {
+	m, mp := testMapper(t, 64)
+	w, err := Translate(m, mp.Root, 0x4000)
+	if !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("err = %v, want ErrNotMapped", err)
+	}
+	if w.Refs != 1 || w.Level != LevelPML4 {
+		t.Errorf("stopped at refs=%d level=%d, want 1/4", w.Refs, w.Level)
+	}
+}
+
+func TestPermissionAggregation(t *testing.T) {
+	m, mp := testMapper(t, 256)
+	data, _ := m.Alloc(0)
+	const va uint64 = 0xffff_8000_0000_2000 // canonical-high kernel address
+	lowVA := va & 0x0000_ffff_ffff_ffff
+	// Leaf kernel-only + NX: aggregated User must be false even though
+	// intermediate entries are permissive.
+	if err := mp.Map(lowVA, data, FlagWritable|FlagNX, 0); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	w, err := Translate(m, mp.Root, lowVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.User {
+		t.Error("User = true for supervisor leaf")
+	}
+	if !w.NX {
+		t.Error("NX not aggregated")
+	}
+}
+
+func TestHugeMapping(t *testing.T) {
+	m, mp := testMapper(t, 1024)
+	seg, err := m.AllocSegment(512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const va = 0x4000_0000 // 1 GiB, 2 MiB aligned
+	if err := mp.MapHuge(va, seg.Base, FlagWritable|FlagUser, 0); err != nil {
+		t.Fatalf("MapHuge: %v", err)
+	}
+	w, err := Translate(m, mp.Root, va+0x1234_5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Huge || w.Level != LevelPD {
+		t.Errorf("Huge/Level = %v/%d, want true/2", w.Huge, w.Level)
+	}
+	if w.Refs != 3 {
+		t.Errorf("Refs = %d, want 3 for 2MiB walk", w.Refs)
+	}
+	if want := seg.Base.Addr() + 0x1234_5; w.PA != want {
+		t.Errorf("PA = %#x, want %#x", w.PA, want)
+	}
+	if err := mp.MapHuge(va+mem.PageSize, seg.Base, 0, 0); err == nil {
+		t.Error("MapHuge with unaligned va succeeded")
+	}
+}
+
+func TestUnmapAndProtect(t *testing.T) {
+	m, mp := testMapper(t, 256)
+	data, _ := m.Alloc(0)
+	const va = 0x10_0000
+	if err := mp.Map(va, data, FlagWritable|FlagUser, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Protect(va, FlagUser, 5); err != nil { // drop W, set pkey 5
+		t.Fatalf("Protect: %v", err)
+	}
+	w, err := Translate(m, mp.Root, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Writable {
+		t.Error("still writable after Protect")
+	}
+	if w.PKey != 5 {
+		t.Errorf("PKey = %d, want 5", w.PKey)
+	}
+	if w.PFN != data {
+		t.Errorf("Protect changed target frame: %v != %v", w.PFN, data)
+	}
+	if err := mp.Unmap(va); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if _, err := Translate(m, mp.Root, va); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("after Unmap err = %v, want ErrNotMapped", err)
+	}
+	if err := mp.Unmap(va); err == nil {
+		t.Error("double Unmap succeeded")
+	}
+}
+
+func TestAccessedDirtyPropagation(t *testing.T) {
+	m, mp := testMapper(t, 256)
+	data, _ := m.Alloc(0)
+	const va = 0x20_0000
+	if err := mp.Map(va, data, FlagWritable|FlagUser, 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := Translate(m, mp.Root, va)
+	SetAccessedDirty(m, w, false)
+	e := ReadEntry(m, w.Slot.PTP, w.Slot.Index)
+	if e&FlagAccessed == 0 || e&FlagDirty != 0 {
+		t.Errorf("after read fill: A=%v D=%v, want A !D", e&FlagAccessed != 0, e&FlagDirty != 0)
+	}
+	SetAccessedDirty(m, w, true)
+	e = ReadEntry(m, w.Slot.PTP, w.Slot.Index)
+	if e&FlagDirty == 0 {
+		t.Error("D bit not set on write fill")
+	}
+}
+
+func TestEntrySinkMediation(t *testing.T) {
+	m, mp := testMapper(t, 256)
+	var stores int
+	mp.Declare = func(ptp mem.PFN, level int) error {
+		if level < 1 || level > 3 {
+			t.Errorf("declared PTP at bad level %d", level)
+		}
+		return nil
+	}
+	inner := mp.Sink
+	mp.Sink = func(level int, va uint64, ptp mem.PFN, idx int, v PTE) error {
+		stores++
+		return inner(level, va, ptp, idx, v)
+	}
+	data, _ := m.Alloc(0)
+	if err := mp.Map(0x40_0000, data, FlagUser, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh table: 3 intermediate entries + 1 leaf.
+	if stores != 4 {
+		t.Errorf("sink saw %d stores, want 4", stores)
+	}
+	// A denying sink must abort the mapping.
+	mp.Sink = func(level int, va uint64, ptp mem.PFN, idx int, v PTE) error {
+		return errors.New("denied")
+	}
+	if err := mp.Map(0x80_0000_0000, data, FlagUser, 0); err == nil {
+		t.Error("Map with denying sink succeeded")
+	}
+}
+
+func TestPTEBitEncoding(t *testing.T) {
+	f := func(pfn uint32, pkey uint8) bool {
+		p := mem.PFN(pfn)
+		k := int(pkey % 16)
+		e := Make(p, FlagPresent|FlagWritable|FlagNX, k)
+		return e.PFN() == p && e.PKey() == k && e.Writable() && e.NX() && e.Present() && !e.User()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexesConsistent(t *testing.T) {
+	f := func(va uint64) bool {
+		va &= 0x0000_ffff_ffff_ffff
+		idx := Indexes(va)
+		for level := LevelPML4; level >= LevelPT; level-- {
+			if idx[LevelPML4-level] != IndexAt(va, level) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct mapped pages translate to their own frames, and
+// translations never alias unless the mapping says so.
+func TestNoAliasingProperty(t *testing.T) {
+	m, mp := testMapper(t, 2048)
+	type pair struct {
+		va  uint64
+		pfn mem.PFN
+	}
+	var mapped []pair
+	for i := 0; i < 64; i++ {
+		va := uint64(0x100000 + i*mem.PageSize*7) // spread across PT pages
+		pfn, err := m.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mp.Map(va, pfn, FlagWritable|FlagUser, 0); err != nil {
+			t.Fatal(err)
+		}
+		mapped = append(mapped, pair{va, pfn})
+	}
+	for _, p := range mapped {
+		w, err := Translate(m, mp.Root, p.va)
+		if err != nil {
+			t.Fatalf("Translate(%#x): %v", p.va, err)
+		}
+		if w.PFN != p.pfn {
+			t.Errorf("va %#x → %v, want %v", p.va, w.PFN, p.pfn)
+		}
+	}
+}

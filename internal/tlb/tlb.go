@@ -1,0 +1,136 @@
+// Package tlb models a PCID-tagged translation lookaside buffer.
+//
+// The TLB caches completed walks keyed by (PCID, virtual page number).
+// It is the mechanism behind two of the paper's experiments: the PCID
+// isolation that keeps a malicious guest's invlpg from flushing other
+// containers' entries (§4.1), and the one- vs two-dimensional walk cost
+// gap measured by the TLB-miss-intensive applications of Table 4.
+package tlb
+
+import (
+	"repro/internal/mem"
+)
+
+// Entry is a cached translation.
+type Entry struct {
+	PFN      mem.PFN // frame of the 4 KiB page containing the VA
+	Writable bool
+	User     bool
+	NX       bool
+	Global   bool
+	Huge     bool
+	PKey     int
+}
+
+type key struct {
+	pcid uint16
+	vpn  uint64
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+	Evicts  uint64
+}
+
+// TLB is a finite, PCID-tagged TLB with FIFO replacement. The zero
+// value is unusable; use New.
+type TLB struct {
+	capacity int
+	entries  map[key]Entry
+	fifo     []key
+	stats    Stats
+}
+
+// DefaultCapacity approximates a modern L2 STLB (entries).
+const DefaultCapacity = 2048
+
+// New creates a TLB with the given entry capacity (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[key]Entry, capacity),
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+func vpn4k(va uint64) uint64 { return va >> mem.PageShift }
+func vpn2m(va uint64) uint64 { return va >> 21 }
+
+// Lookup searches for a translation of va in pcid. Huge (2 MiB) entries
+// are checked after 4 KiB ones, as hardware probes both structures.
+func (t *TLB) Lookup(pcid uint16, va uint64) (Entry, bool) {
+	if e, ok := t.entries[key{pcid, vpn4k(va)}]; ok && !e.Huge {
+		t.stats.Hits++
+		return e, true
+	}
+	if e, ok := t.entries[key{pcid, vpn2m(va) | 1<<63}]; ok {
+		t.stats.Hits++
+		return e, true
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Insert caches a completed walk.
+func (t *TLB) Insert(pcid uint16, va uint64, e Entry) {
+	k := key{pcid, vpn4k(va)}
+	if e.Huge {
+		k = key{pcid, vpn2m(va) | 1<<63}
+	}
+	if _, exists := t.entries[k]; !exists {
+		for len(t.entries) >= t.capacity && len(t.fifo) > 0 {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			if _, ok := t.entries[victim]; ok {
+				delete(t.entries, victim)
+				t.stats.Evicts++
+			}
+		}
+		t.fifo = append(t.fifo, k)
+	}
+	t.entries[k] = e
+}
+
+// FlushPage invalidates the translations of va in pcid (invlpg).
+func (t *TLB) FlushPage(pcid uint16, va uint64) {
+	delete(t.entries, key{pcid, vpn4k(va)})
+	delete(t.entries, key{pcid, vpn2m(va) | 1<<63})
+	t.stats.Flushes++
+}
+
+// FlushPCID invalidates all entries of one PCID (invpcid single-context,
+// or a CR3 load without the no-flush bit).
+func (t *TLB) FlushPCID(pcid uint16) {
+	for k := range t.entries {
+		if k.pcid == pcid {
+			delete(t.entries, k)
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushAll invalidates everything, optionally keeping global entries.
+func (t *TLB) FlushAll(keepGlobal bool) {
+	for k, e := range t.entries {
+		if keepGlobal && e.Global {
+			continue
+		}
+		delete(t.entries, k)
+	}
+	t.stats.Flushes++
+}
+
+// Len reports the number of live entries (for tests).
+func (t *TLB) Len() int { return len(t.entries) }

@@ -1,0 +1,113 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestLookupInsert(t *testing.T) {
+	tl := New(16)
+	if _, ok := tl.Lookup(1, 0x1000); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	tl.Insert(1, 0x1000, Entry{PFN: 42, Writable: true})
+	e, ok := tl.Lookup(1, 0x1abc) // same page, different offset
+	if !ok || e.PFN != 42 {
+		t.Errorf("lookup = %+v %v, want PFN 42", e, ok)
+	}
+	if _, ok := tl.Lookup(2, 0x1000); ok {
+		t.Error("cross-PCID hit")
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 hit 2 misses", s)
+	}
+}
+
+func TestHugeEntryCoversRegion(t *testing.T) {
+	tl := New(16)
+	tl.Insert(3, 0x40000000, Entry{PFN: 100, Huge: true})
+	if _, ok := tl.Lookup(3, 0x40000000+mem.HugePageSize-1); !ok {
+		t.Error("huge entry missed within its 2MiB region")
+	}
+	if _, ok := tl.Lookup(3, 0x40000000+mem.HugePageSize); ok {
+		t.Error("huge entry hit outside its region")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	tl := New(16)
+	tl.Insert(1, 0x1000, Entry{PFN: 1})
+	tl.Insert(1, 0x2000, Entry{PFN: 2})
+	tl.FlushPage(1, 0x1000)
+	if _, ok := tl.Lookup(1, 0x1000); ok {
+		t.Error("flushed page still present")
+	}
+	if _, ok := tl.Lookup(1, 0x2000); !ok {
+		t.Error("FlushPage removed unrelated entry")
+	}
+}
+
+func TestFlushPCIDIsolation(t *testing.T) {
+	// The property behind §4.1's PCID isolation: flushing one container's
+	// context must leave other containers' entries intact.
+	tl := New(64)
+	tl.Insert(1, 0x1000, Entry{PFN: 1})
+	tl.Insert(2, 0x1000, Entry{PFN: 2})
+	tl.FlushPCID(1)
+	if _, ok := tl.Lookup(1, 0x1000); ok {
+		t.Error("pcid 1 entry survived FlushPCID")
+	}
+	if _, ok := tl.Lookup(2, 0x1000); !ok {
+		t.Error("pcid 2 entry lost to pcid 1 flush")
+	}
+}
+
+func TestFlushAllKeepsGlobal(t *testing.T) {
+	tl := New(16)
+	tl.Insert(1, 0x1000, Entry{PFN: 1, Global: true})
+	tl.Insert(1, 0x2000, Entry{PFN: 2})
+	tl.FlushAll(true)
+	if _, ok := tl.Lookup(1, 0x1000); !ok {
+		t.Error("global entry flushed")
+	}
+	if _, ok := tl.Lookup(1, 0x2000); ok {
+		t.Error("non-global entry kept")
+	}
+	tl.FlushAll(false)
+	if tl.Len() != 0 {
+		t.Error("FlushAll(false) left entries")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tl := New(4)
+	for i := 0; i < 8; i++ {
+		tl.Insert(1, uint64(i)*0x1000, Entry{PFN: mem.PFN(i)})
+	}
+	if tl.Len() > 4 {
+		t.Errorf("TLB grew to %d entries, capacity 4", tl.Len())
+	}
+	if tl.Stats().Evicts == 0 {
+		t.Error("no evictions counted")
+	}
+	// Most-recent insert must survive.
+	if _, ok := tl.Lookup(1, 7*0x1000); !ok {
+		t.Error("most recent entry evicted")
+	}
+}
+
+func TestReinsertDoesNotDuplicate(t *testing.T) {
+	tl := New(4)
+	for i := 0; i < 10; i++ {
+		tl.Insert(1, 0x5000, Entry{PFN: mem.PFN(i)})
+	}
+	if tl.Len() != 1 {
+		t.Errorf("Len = %d after re-inserting one page, want 1", tl.Len())
+	}
+	e, _ := tl.Lookup(1, 0x5000)
+	if e.PFN != 9 {
+		t.Errorf("stale entry %v, want PFN 9", e.PFN)
+	}
+}

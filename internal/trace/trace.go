@@ -1,0 +1,133 @@
+// Package trace records a bounded timeline of guest-kernel flow events
+// (syscalls, page faults, hypercalls, context switches, timer ticks)
+// with virtual timestamps and durations. It exists for observability:
+// cmd/ckirun's -trace flag prints the tail of the timeline, which makes
+// the per-runtime flow differences visible on real workload runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Syscall Kind = iota
+	PageFault
+	ProtFault
+	Hypercall
+	CtxSwitch
+	TimerTick
+	VirtioKick
+)
+
+var kindNames = [...]string{
+	"syscall", "pagefault", "protfault", "hypercall", "ctxsw", "tick", "kick",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Event is one recorded flow.
+type Event struct {
+	At   clock.Time
+	Dur  clock.Time
+	Kind Kind
+	// PID is the process on the CPU when the event started.
+	PID int
+}
+
+// Ring is a bounded event recorder. A nil *Ring is a valid no-op
+// recorder, so instrumentation sites need no conditionals.
+type Ring struct {
+	events  []Event
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// New creates a ring holding up to capacity events.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// Record appends an event (oldest entries are overwritten).
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if r.full {
+		r.dropped++
+	}
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the recorded timeline, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Render formats the last n events as a timeline.
+func (r *Ring) Render(n int) string {
+	evs := r.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow timeline (%d events", len(evs))
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, ", %d older dropped", d)
+	}
+	b.WriteString("):\n")
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  %12v  pid %-3d  %-10s %v\n", e.At, e.PID, e.Kind, e.Dur)
+	}
+	return b.String()
+}
+
+// Summary aggregates counts and total time per kind.
+func (r *Ring) Summary() map[Kind]struct {
+	Count int
+	Total clock.Time
+} {
+	out := map[Kind]struct {
+		Count int
+		Total clock.Time
+	}{}
+	for _, e := range r.Events() {
+		s := out[e.Kind]
+		s.Count++
+		s.Total += e.Dur
+		out[e.Kind] = s
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/clock"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/trace"
+)
+
+func TestRingBounds(t *testing.T) {
+	r := trace.New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(trace.Event{At: clock.Time(i), Kind: trace.Syscall})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	// Oldest first, last four survive.
+	for i, e := range evs {
+		if e.At != clock.Time(6+i) {
+			t.Errorf("event %d At = %d, want %d", i, e.At, 6+i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *trace.Ring
+	r.Record(trace.Event{}) // must not panic
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Error("nil ring returned data")
+	}
+}
+
+func TestGuestFlowsRecorded(t *testing.T) {
+	c := backends.MustNew(backends.CKI, backends.Options{})
+	c.K.Trace = trace.New(512)
+	k := c.K
+	k.Getpid()
+	addr, err := k.MmapCall(4*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, 4*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Yield(); err != nil {
+		t.Fatal(err)
+	}
+	sum := c.K.Trace.Summary()
+	if sum[trace.Syscall].Count < 4 {
+		t.Errorf("syscalls recorded = %d, want >= 4", sum[trace.Syscall].Count)
+	}
+	if sum[trace.PageFault].Count != 4 {
+		t.Errorf("pagefaults recorded = %d, want 4", sum[trace.PageFault].Count)
+	}
+	if sum[trace.CtxSwitch].Count == 0 {
+		t.Error("no context switch recorded")
+	}
+	// Durations are positive and the syscall total is plausible
+	// (getpid ≈ 90ns each at minimum).
+	if sum[trace.Syscall].Total < 90*clock.Nanosecond {
+		t.Errorf("syscall total %v too small", sum[trace.Syscall].Total)
+	}
+	out := c.K.Trace.Render(10)
+	for _, want := range []string{"flow timeline", "pagefault", "syscall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTimelineOrdered(t *testing.T) {
+	c := backends.MustNew(backends.RunC, backends.Options{})
+	c.K.Trace = trace.New(128)
+	for i := 0; i < 20; i++ {
+		c.K.Getpid()
+	}
+	var last clock.Time
+	for i, e := range c.K.Trace.Events() {
+		if e.At < last {
+			t.Fatalf("event %d out of order: %v < %v", i, e.At, last)
+		}
+		last = e.At
+	}
+}

@@ -1,0 +1,183 @@
+// Package virtio models a virtio virtqueue: a descriptor ring living in
+// guest-visible simulated memory, a guest-side producer, and a host-side
+// device that consumes descriptors when kicked.
+//
+// The transport of the kick is injected by the container runtime and is
+// where the backends diverge: an MMIO write (a VM exit) under HVM, a
+// hypercall under PVM and CKI (§5: "We replace the MMIOs in the guest
+// kernel (VirtIO frontend) with hypercalls"). Notification suppression
+// is modelled with the standard used-ring flag, which is what lets a
+// loaded server amortize kicks across batched completions.
+package virtio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+)
+
+// Ring layout (words within the ring frame):
+//
+//	word 0: avail index (guest increments)
+//	word 1: used index (device increments)
+//	word 2: device flags (bit 0 = suppress notifications)
+//	word 3: guest flags (unused)
+//	word 8+2i, 9+2i: descriptor i (payload id, payload length)
+const (
+	wAvail   = 0
+	wUsed    = 1
+	wDevFlag = 2
+	ringBase = 8
+)
+
+// FlagSuppressKick is set by the device while it is already processing,
+// telling the guest that further kicks are unnecessary.
+const FlagSuppressKick = 1
+
+// ErrRingFull is returned when the descriptor ring has no free slot.
+var ErrRingFull = errors.New("virtio: ring full")
+
+// Device is the host-side backend invoked for each descriptor.
+type Device func(payload []byte) (response []byte)
+
+// Stats counts queue activity.
+type Stats struct {
+	Submitted  uint64
+	Kicks      uint64
+	Suppressed uint64
+	Completed  uint64
+}
+
+// Queue is one virtqueue shared between a guest producer and a host
+// device.
+type Queue struct {
+	mem   *mem.PhysMem
+	frame mem.PFN
+	size  int
+	costs *clock.Costs
+
+	// Kick is the runtime-specific notification transport. It is
+	// invoked with the queue already published; its cost is charged by
+	// the runtime (VM exit, hypercall, ...).
+	Kick func() error
+	// Dev processes one request payload.
+	Dev Device
+
+	payloads  map[uint64][]byte
+	responses map[uint64][]byte
+	nextID    uint64
+	inflight  int
+
+	stats Stats
+}
+
+// New allocates a queue of the given size whose ring lives in a frame of
+// m (guest-visible memory).
+func New(m *mem.PhysMem, owner int, size int, costs *clock.Costs) (*Queue, error) {
+	if size <= 0 || size > (mem.WordsPerPage-ringBase)/2 {
+		return nil, fmt.Errorf("virtio: bad ring size %d", size)
+	}
+	f, err := m.Alloc(owner)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{
+		mem:       m,
+		frame:     f,
+		size:      size,
+		costs:     costs,
+		payloads:  make(map[uint64][]byte),
+		responses: make(map[uint64][]byte),
+		nextID:    1,
+	}, nil
+}
+
+func (q *Queue) word(i int) uint64 { return q.mem.ReadWord(q.frame.Addr() + uint64(i)*8) }
+func (q *Queue) setWord(i int, v uint64) {
+	q.mem.WriteWord(q.frame.Addr()+uint64(i)*8, v)
+}
+
+// Stats returns a copy of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Pending reports descriptors published but not yet consumed.
+func (q *Queue) Pending() int {
+	return int(q.word(wAvail) - q.word(wUsed))
+}
+
+// Submit publishes one request descriptor, charging the ring-push cost
+// to clk. It does not notify; call Kick (or rely on a suppressed-kick
+// batch) afterwards. Returns the descriptor id.
+func (q *Queue) Submit(clk *clock.Clock, payload []byte) (uint64, error) {
+	if q.Pending()+q.inflight >= q.size {
+		return 0, ErrRingFull
+	}
+	clk.Advance(q.costs.VirtqueuePush)
+	id := q.nextID
+	q.nextID++
+	q.payloads[id] = payload
+	slot := int(q.word(wAvail)) % q.size
+	q.setWord(ringBase+2*slot, id)
+	q.setWord(ringBase+2*slot+1, uint64(len(payload)))
+	q.setWord(wAvail, q.word(wAvail)+1)
+	q.stats.Submitted++
+	return id, nil
+}
+
+// NeedsKick reports whether the device asked for a notification.
+func (q *Queue) NeedsKick() bool {
+	return q.word(wDevFlag)&FlagSuppressKick == 0
+}
+
+// KickIfNeeded notifies the device through the runtime transport unless
+// suppression is active, then drains the queue. This is the guest's
+// post-publish step.
+func (q *Queue) KickIfNeeded(clk *clock.Clock) error {
+	if !q.NeedsKick() {
+		q.stats.Suppressed++
+		return nil
+	}
+	q.stats.Kicks++
+	if q.Kick != nil {
+		if err := q.Kick(); err != nil {
+			return err
+		}
+	}
+	return q.Drain(clk)
+}
+
+// Drain makes the device consume every published descriptor. While
+// draining, notifications are suppressed, so producers that publish
+// during a drain don't pay for kicks — the batching effect the paper's
+// I/O throughput results depend on.
+func (q *Queue) Drain(clk *clock.Clock) error {
+	q.setWord(wDevFlag, q.word(wDevFlag)|FlagSuppressKick)
+	defer q.setWord(wDevFlag, q.word(wDevFlag)&^FlagSuppressKick)
+	for q.Pending() > 0 {
+		used := q.word(wUsed)
+		slot := int(used) % q.size
+		id := q.word(ringBase + 2*slot)
+		clk.Advance(q.costs.VirtqueuePop)
+		payload := q.payloads[id]
+		delete(q.payloads, id)
+		var resp []byte
+		if q.Dev != nil {
+			resp = q.Dev(payload)
+		}
+		q.responses[id] = resp
+		q.setWord(wUsed, used+1)
+		q.stats.Completed++
+	}
+	return nil
+}
+
+// Response collects (and forgets) the device's response for id.
+func (q *Queue) Response(id uint64) ([]byte, bool) {
+	r, ok := q.responses[id]
+	if ok {
+		delete(q.responses, id)
+	}
+	return r, ok
+}

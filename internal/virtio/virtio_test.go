@@ -1,0 +1,158 @@
+package virtio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+)
+
+func newQueue(t *testing.T, size int) (*Queue, *clock.Clock) {
+	t.Helper()
+	m := mem.New(64)
+	q, err := New(m, 1, size, clock.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, new(clock.Clock)
+}
+
+func TestSubmitKickResponse(t *testing.T) {
+	q, clk := newQueue(t, 8)
+	var kicked int
+	q.Kick = func() error { kicked++; return nil }
+	q.Dev = func(p []byte) []byte { return append([]byte("echo:"), p...) }
+	id, err := q.Submit(clk, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.KickIfNeeded(clk); err != nil {
+		t.Fatal(err)
+	}
+	if kicked != 1 {
+		t.Errorf("kicks = %d, want 1", kicked)
+	}
+	resp, ok := q.Response(id)
+	if !ok || !bytes.Equal(resp, []byte("echo:hello")) {
+		t.Errorf("response = %q %v", resp, ok)
+	}
+	if _, ok := q.Response(id); ok {
+		t.Error("response not consumed")
+	}
+	s := q.Stats()
+	if s.Submitted != 1 || s.Completed != 1 || s.Kicks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestKickSuppressionDuringDrain(t *testing.T) {
+	q, clk := newQueue(t, 16)
+	var kicks int
+	q.Kick = func() error { kicks++; return nil }
+	// A device that, while processing, causes more submissions — the
+	// batching pattern of a loaded server.
+	depth := 0
+	q.Dev = func(p []byte) []byte {
+		if depth < 5 {
+			depth++
+			if _, err := q.Submit(clk, []byte{byte(depth)}); err != nil {
+				t.Fatal(err)
+			}
+			// The producer checks NeedsKick: suppression must be on.
+			if q.NeedsKick() {
+				t.Error("kick not suppressed during drain")
+			}
+			if err := q.KickIfNeeded(clk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nil
+	}
+	if _, err := q.Submit(clk, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.KickIfNeeded(clk); err != nil {
+		t.Fatal(err)
+	}
+	if kicks != 1 {
+		t.Errorf("kicks = %d, want 1 (rest amortized)", kicks)
+	}
+	if got := q.Stats().Completed; got != 6 {
+		t.Errorf("completed = %d, want 6", got)
+	}
+	if got := q.Stats().Suppressed; got != 5 {
+		t.Errorf("suppressed = %d, want 5", got)
+	}
+}
+
+func TestRingFull(t *testing.T) {
+	q, clk := newQueue(t, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := q.Submit(clk, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Submit(clk, []byte{9}); err != ErrRingFull {
+		t.Errorf("err = %v, want ErrRingFull", err)
+	}
+	// Draining frees slots.
+	q.Dev = func(p []byte) []byte { return nil }
+	if err := q.Drain(clk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(clk, []byte{9}); err != nil {
+		t.Errorf("submit after drain: %v", err)
+	}
+}
+
+func TestRingStateLivesInSimulatedMemory(t *testing.T) {
+	m := mem.New(64)
+	q, err := New(m, 1, 8, clock.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := new(clock.Clock)
+	if _, err := q.Submit(clk, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The avail index is a real word in a real frame.
+	if got := m.ReadWord(q.frame.Addr()); got != 1 {
+		t.Errorf("avail index in memory = %d, want 1", got)
+	}
+	q.Dev = func(p []byte) []byte { return nil }
+	if err := q.Drain(clk); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadWord(q.frame.Addr() + 8); got != 1 {
+		t.Errorf("used index in memory = %d, want 1", got)
+	}
+}
+
+func TestCostsCharged(t *testing.T) {
+	q, clk := newQueue(t, 8)
+	q.Dev = func(p []byte) []byte { return nil }
+	if _, err := q.Submit(clk, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	afterPush := clk.Now()
+	if afterPush != clock.DefaultCosts().VirtqueuePush {
+		t.Errorf("push charged %v", afterPush)
+	}
+	if err := q.Drain(clk); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != afterPush+clock.DefaultCosts().VirtqueuePop {
+		t.Errorf("pop charged %v", clk.Now()-afterPush)
+	}
+}
+
+func TestBadRingSize(t *testing.T) {
+	m := mem.New(64)
+	if _, err := New(m, 1, 0, clock.DefaultCosts()); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := New(m, 1, 10000, clock.DefaultCosts()); err == nil {
+		t.Error("oversized ring accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/backends"
+)
+
+// Determinism is a design guarantee of the simulator (DESIGN.md §6):
+// identical runs produce bit-identical virtual times and counters, so
+// every number in EXPERIMENTS.md is exactly reproducible.
+func TestDeterminism(t *testing.T) {
+	runners := []Runner{
+		Fig12Apps(1)[0],  // btree
+		Fig14Cases(1)[2], // sqlite fillrandom
+		Memcached(32),    // KV with virtio + IRQs
+		GUPS{TablePages: 512, Updates: 2000},
+		LMBenchCases(1)[5], // fork+exit
+	}
+	for _, r := range runners {
+		r := r
+		for _, cfg := range []struct {
+			kind backends.Kind
+			opts backends.Options
+		}{
+			{backends.CKI, backends.Options{}},
+			{backends.HVM, backends.Options{Nested: true}},
+			{backends.PVM, backends.Options{}},
+		} {
+			a, err := r.Run(backends.MustNew(cfg.kind, cfg.opts))
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name(), err)
+			}
+			b, err := r.Run(backends.MustNew(cfg.kind, cfg.opts))
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name(), err)
+			}
+			if a.Time != b.Time || a.Syscalls != b.Syscalls || a.PageFaults != b.PageFaults {
+				t.Errorf("%s on %s not deterministic: %+v vs %+v", r.Name(), a.Runtime, a, b)
+			}
+		}
+	}
+}

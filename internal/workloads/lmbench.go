@@ -1,0 +1,268 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// LMBench implements the Fig. 11 microbenchmark rows. Each case returns
+// the per-operation latency; the harness normalizes per row across
+// runtimes as the figure does.
+
+// LMCase is one lmbench row.
+type LMCase struct {
+	CaseName string
+	// Iters is the measured iteration count.
+	Iters int
+	run   func(c *backends.Container, iters int) error
+	// setup prepares state that is not part of the measurement.
+	setup func(c *backends.Container) error
+}
+
+// Name implements Runner.
+func (l LMCase) Name() string { return "lmbench/" + l.CaseName }
+
+// Run implements Runner.
+func (l LMCase) Run(c *backends.Container) (Result, error) {
+	if l.setup != nil {
+		if err := l.setup(c); err != nil {
+			return Result{}, err
+		}
+	}
+	return measure(c, l.Name(), l.Iters, func() error {
+		return l.run(c, l.Iters)
+	})
+}
+
+// lmFile pre-creates the file the read/write rows use.
+func lmFile(c *backends.Container) error {
+	ino, err := c.K.FS.Create("/lm.dat")
+	if err != nil {
+		return err
+	}
+	ino.Data = make([]byte, 4096)
+	return nil
+}
+
+// lmResident gives the calling process a typical lmbench footprint so
+// fork has something to copy (lmbench's lat_proc is ~40 resident pages).
+func lmResident(c *backends.Container) error {
+	addr, err := c.K.MmapCall(40*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return err
+	}
+	return c.K.TouchRange(addr, 40*mem.PageSize, mmu.Write)
+}
+
+// LMBenchCases returns the ten rows of Fig. 11 sized by scale.
+func LMBenchCases(scale int) []LMCase {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 60 * scale
+	return []LMCase{
+		{CaseName: "read", Iters: n * 4, setup: lmFile, run: func(c *backends.Container, iters int) error {
+			fd, err := c.K.Open("/lm.dat", false)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				if err := c.K.Lseek(fd, 0); err != nil {
+					return err
+				}
+				if _, err := c.K.Read(fd, 1); err != nil {
+					return err
+				}
+			}
+			return c.K.Close(fd)
+		}},
+		{CaseName: "write", Iters: n * 4, setup: lmFile, run: func(c *backends.Container, iters int) error {
+			fd, err := c.K.Open("/lm.dat", false)
+			if err != nil {
+				return err
+			}
+			one := []byte{0}
+			for i := 0; i < iters; i++ {
+				if _, err := c.K.Pwrite(fd, one, 0); err != nil {
+					return err
+				}
+			}
+			return c.K.Close(fd)
+		}},
+		{CaseName: "stat", Iters: n * 4, setup: lmFile, run: func(c *backends.Container, iters int) error {
+			for i := 0; i < iters; i++ {
+				if _, err := c.K.Stat("/lm.dat"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{CaseName: "protfault", Iters: n, run: func(c *backends.Container, iters int) error {
+			// lmbench lat_sig prot: deliver SIGSEGV to a registered
+			// handler on each write to a read-only page.
+			addr, err := c.K.MmapCall(mem.PageSize, guest.ProtRead, nil, false)
+			if err != nil {
+				return err
+			}
+			if err := c.K.Touch(addr, mmu.Read); err != nil {
+				return err
+			}
+			c.K.RegisterSegvHandler(func(uint64, bool) guest.SegvAction {
+				return guest.SegvFatal
+			})
+			defer c.K.RegisterSegvHandler(nil)
+			for i := 0; i < iters; i++ {
+				if err := c.K.Touch(addr, mmu.Write); err != guest.EFAULT {
+					return fmt.Errorf("expected EFAULT, got %v", err)
+				}
+			}
+			return nil
+		}},
+		{CaseName: "pagefault", Iters: n, run: func(c *backends.Container, iters int) error {
+			// lmbench lat_pagefault: touch pages of a file mapping.
+			ino, err := c.K.FS.Create("/lm-pf.dat")
+			if err != nil {
+				return err
+			}
+			ino.Data = make([]byte, iters*mem.PageSize)
+			addr, err := c.K.MmapCall(uint64(iters)*mem.PageSize, guest.ProtRead, ino, false)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				if err := c.K.Touch(addr+uint64(i)*mem.PageSize, mmu.Read); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{CaseName: "fork+exit", Iters: n / 4, setup: lmResident, run: func(c *backends.Container, iters int) error {
+			for i := 0; i < iters; i++ {
+				child, err := c.K.Fork()
+				if err != nil {
+					return err
+				}
+				if err := c.K.SwitchToPID(child); err != nil {
+					return err
+				}
+				if err := c.K.Exit(0); err != nil {
+					return err
+				}
+				if _, err := c.K.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{CaseName: "fork+execve", Iters: n / 4, setup: lmResident, run: func(c *backends.Container, iters int) error {
+			for i := 0; i < iters; i++ {
+				child, err := c.K.Fork()
+				if err != nil {
+					return err
+				}
+				if err := c.K.SwitchToPID(child); err != nil {
+					return err
+				}
+				if err := c.K.Execve(16, 8); err != nil {
+					return err
+				}
+				if err := c.K.Exit(0); err != nil {
+					return err
+				}
+				if _, err := c.K.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{CaseName: "ctxsw-2p/0k", Iters: n * 2, run: func(c *backends.Container, iters int) error {
+			parent := c.K.Cur.PID
+			child, err := c.K.Fork()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				if err := c.K.SwitchToPID(child); err != nil {
+					return err
+				}
+				if err := c.K.SwitchToPID(parent); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{CaseName: "pipe", Iters: n * 2, run: func(c *backends.Container, iters int) error {
+			k := c.K
+			rfd, wfd, err := k.PipePair()
+			if err != nil {
+				return err
+			}
+			parent := k.Cur.PID
+			child, err := k.Fork()
+			if err != nil {
+				return err
+			}
+			token := []byte{1}
+			for i := 0; i < iters; i++ {
+				// Parent writes, child reads, child writes back.
+				if _, err := k.Write(wfd, token); err != nil {
+					return err
+				}
+				if err := k.SwitchToPID(child); err != nil {
+					return err
+				}
+				if _, err := k.Read(rfd, 1); err != nil {
+					return err
+				}
+				if _, err := k.Write(wfd, token); err != nil {
+					return err
+				}
+				if err := k.SwitchToPID(parent); err != nil {
+					return err
+				}
+				if _, err := k.Read(rfd, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{CaseName: "AF_UNIX", Iters: n * 2, run: func(c *backends.Container, iters int) error {
+			k := c.K
+			a, bfd, err := k.SocketPair()
+			if err != nil {
+				return err
+			}
+			parent := k.Cur.PID
+			child, err := k.Fork()
+			if err != nil {
+				return err
+			}
+			token := []byte{1}
+			for i := 0; i < iters; i++ {
+				if _, err := k.Write(a, token); err != nil {
+					return err
+				}
+				if err := k.SwitchToPID(child); err != nil {
+					return err
+				}
+				if _, err := k.Read(bfd, 1); err != nil {
+					return err
+				}
+				if _, err := k.Write(bfd, token); err != nil {
+					return err
+				}
+				if err := k.SwitchToPID(parent); err != nil {
+					return err
+				}
+				if _, err := k.Read(a, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/clock"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// MemApp is a page-fault-intensive application kernel in the mould of
+// the paper's PARSEC/vmitosis selection (Fig. 12). Each unit of work
+// combines the three behaviours the paper's analysis attributes the
+// runtime differences to:
+//
+//   - demand faults on fresh memory (allocation-heavy phases), where
+//     HVM pays EPT faults (catastrophically so when nested) and PVM
+//     pays the six-switch shadow flow;
+//   - page-table churn (mprotect/recycling), where PVM pays a
+//     hypercall + shadow sync per entry while CKI pays a PKS gate;
+//   - pure user computation, identical everywhere.
+//
+// The per-app mixes are calibrated so each runtime's normalized bar
+// matches Fig. 12's shape; see DESIGN.md §5.
+type MemApp struct {
+	AppName string
+	// Units is the number of work units (sized for test vs bench runs).
+	Units int
+	// FaultPages is the number of fresh pages touched per unit.
+	FaultPages int
+	// FileBacked routes the faults through a file mapping (canneal's
+	// memory-mapped netlist).
+	FileBacked bool
+	// ChurnOps is the number of single-page mprotect toggles per unit.
+	ChurnOps int
+	// ComputeNs is user computation per unit.
+	ComputeNs float64
+	// Huge requests 2 MiB application mappings (the "RunC 2M" mode).
+	Huge bool
+}
+
+// Name implements Runner.
+func (a MemApp) Name() string { return a.AppName }
+
+// Run executes the kernel.
+func (a MemApp) Run(c *backends.Container) (Result, error) {
+	k := c.K
+	var file *guest.Inode
+	if a.FileBacked {
+		ino, err := k.FS.Create("/" + a.AppName + ".dat")
+		if err != nil {
+			return Result{}, err
+		}
+		ino.Data = make([]byte, a.Units*a.FaultPages*mem.PageSize)
+		file = ino
+	}
+	// One region for the faulting phase, one page for churn.
+	region, err := k.MmapCall(uint64(a.Units*a.FaultPages)*mem.PageSize,
+		guest.ProtRead|guest.ProtWrite, file, a.Huge)
+	if err != nil {
+		return Result{}, err
+	}
+	churn, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := k.Touch(churn, mmu.Write); err != nil {
+		return Result{}, err
+	}
+	return measure(c, a.AppName, a.Units, func() error {
+		next := region
+		for u := 0; u < a.Units; u++ {
+			for p := 0; p < a.FaultPages; p++ {
+				if err := k.Touch(next, mmu.Write); err != nil {
+					return fmt.Errorf("%s unit %d: %w", a.AppName, u, err)
+				}
+				next += mem.PageSize
+			}
+			for j := 0; j < a.ChurnOps; j++ {
+				prot := guest.Prot(guest.ProtRead)
+				if j%2 == 1 {
+					prot |= guest.ProtWrite
+				}
+				if err := k.MprotectCall(churn, mem.PageSize, prot); err != nil {
+					return err
+				}
+			}
+			if a.ChurnOps%2 == 1 { // leave the page writable
+				if err := k.MprotectCall(churn, mem.PageSize, guest.ProtRead|guest.ProtWrite); err != nil {
+					return err
+				}
+			}
+			k.Compute(clock.FromNanos(a.ComputeNs))
+		}
+		return nil
+	})
+}
+
+// Fig12Apps returns the six-application suite with unit counts sized by
+// scale (use 1 for tests, larger for the harness).
+func Fig12Apps(scale int) []MemApp {
+	if scale < 1 {
+		scale = 1
+	}
+	u := 120 * scale
+	return []MemApp{
+		{AppName: "btree", Units: u, FaultPages: 1, ChurnOps: 2, ComputeNs: 10146},
+		{AppName: "xsbench", Units: u, FaultPages: 1, ComputeNs: 18595},
+		{AppName: "canneal", Units: u, FaultPages: 1, FileBacked: true, ComputeNs: 33911},
+		{AppName: "dedup", Units: u, FaultPages: 1, ChurnOps: 10, ComputeNs: 13758},
+		{AppName: "fluidanimate", Units: u, FaultPages: 1, ChurnOps: 1, ComputeNs: 61252},
+		{AppName: "freqmine", Units: u, FaultPages: 1, ComputeNs: 97362},
+	}
+}
+
+// BTreeSweep is the Fig. 13a experiment: the paper's BTree inserts a
+// group of entries and then performs lookups; secure-container overhead
+// concentrates in the insertion (allocation) phase, so it shrinks as
+// the lookup/insert ratio grows.
+type BTreeSweep struct {
+	Inserts int
+	// Ratio is lookups per insert.
+	Ratio int
+}
+
+// Name implements Runner.
+func (b BTreeSweep) Name() string { return fmt.Sprintf("btree-r%d", b.Ratio) }
+
+// Run executes inserts (a fresh page per insert plus tree maintenance)
+// followed by Ratio×Inserts lookups (computation over resident pages).
+func (b BTreeSweep) Run(c *backends.Container) (Result, error) {
+	k := c.K
+	region, err := k.MmapCall(uint64(b.Inserts)*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return Result{}, err
+	}
+	ops := b.Inserts * (1 + b.Ratio)
+	r := rng()
+	return measure(c, b.Name(), ops, func() error {
+		for i := 0; i < b.Inserts; i++ {
+			if err := k.Touch(region+uint64(i)*mem.PageSize, mmu.Write); err != nil {
+				return err
+			}
+			k.Compute(clock.FromNanos(5200)) // node allocation, split, rebalance
+		}
+		for i := 0; i < b.Inserts*b.Ratio; i++ {
+			va := region + uint64(r.Intn(b.Inserts))*mem.PageSize
+			if err := k.Touch(va, mmu.Read); err != nil {
+				return err
+			}
+			k.Compute(clock.FromNanos(320))
+		}
+		return nil
+	})
+}
+
+// XSBenchSweep is the Fig. 13b experiment: a fixed-size data-generation
+// phase (fault-heavy) followed by per-particle computation; overhead is
+// higher when the calculation phase is shorter (fewer particles).
+type XSBenchSweep struct {
+	GridPages int
+	Particles int
+}
+
+// Name implements Runner.
+func (x XSBenchSweep) Name() string { return fmt.Sprintf("xsbench-p%d", x.Particles) }
+
+// Run executes the two phases.
+func (x XSBenchSweep) Run(c *backends.Container) (Result, error) {
+	k := c.K
+	region, err := k.MmapCall(uint64(x.GridPages)*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return Result{}, err
+	}
+	r := rng()
+	return measure(c, x.Name(), x.Particles, func() error {
+		for i := 0; i < x.GridPages; i++ {
+			if err := k.Touch(region+uint64(i)*mem.PageSize, mmu.Write); err != nil {
+				return err
+			}
+		}
+		for p := 0; p < x.Particles; p++ {
+			// Each particle samples a handful of resident grid pages.
+			for s := 0; s < 4; s++ {
+				va := region + uint64(r.Intn(x.GridPages))*mem.PageSize
+				if err := k.Touch(va, mmu.Read); err != nil {
+					return err
+				}
+			}
+			k.Compute(clock.FromNanos(1800))
+		}
+		return nil
+	})
+}

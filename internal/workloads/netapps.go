@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/clock"
+	"repro/internal/guest"
+)
+
+// The I/O-intensive servers behind Fig. 5 and Fig. 16. A server is real
+// guest software: it polls, reads the request off a socket, does its
+// application work, and writes the response — the write crossing the
+// virtio boundary through the runtime's kick transport. Request arrival
+// is a virtual interrupt delivered through the runtime's injection flow.
+//
+// Batch models notification coalescing: under load, b requests arrive
+// per interrupt and b responses share one doorbell, which is how a
+// saturated server amortizes exits (the virtqueue suppression tested in
+// internal/virtio). Single-threaded Redis runs deeper backlogs than
+// multi-threaded memcached, so it coalesces more.
+
+// rxStackWork is the guest network stack's per-packet receive cost.
+const rxStackWork = 600 // ns
+
+// NetServer runs request/response service over a connected socket.
+type NetServer struct {
+	c  *backends.Container
+	fd int
+	// ext is the host/client side of the connection.
+	ext *guest.Sock
+
+	store map[string][]byte
+}
+
+// NewNetServer wires a server socket into container c.
+func NewNetServer(c *backends.Container) (*NetServer, error) {
+	fd, ext, err := c.K.ExternalConn(func() {
+		// TX doorbell: charged through the runtime's transport.
+		if err := c.VirtioKick(); err != nil {
+			panic(fmt.Sprintf("virtio kick: %v", err))
+		}
+		c.K.Stats.VirtioKicks++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &NetServer{c: c, fd: fd, ext: ext, store: make(map[string][]byte)}, nil
+}
+
+// ServeBatch delivers one interrupt announcing b queued requests, then
+// serves each: poll, read, work, write (the batch's responses share the
+// final doorbell; earlier writes see the suppressed flag).
+func (s *NetServer) ServeBatch(reqs [][]byte, work func(req []byte) []byte) error {
+	k := s.c.K
+	// One RX interrupt for the whole batch.
+	s.c.DeliverVirtIRQ()
+	k.Compute(clock.FromNanos(rxStackWork))
+	for i, req := range reqs {
+		s.ext.Send(req)
+		if err := k.Poll(); err != nil {
+			return err
+		}
+		got, err := k.Read(s.fd, len(req))
+		if err != nil {
+			return err
+		}
+		resp := work(got)
+		last := i == len(reqs)-1
+		if !last {
+			s.suppress(true)
+		}
+		if _, err := k.Write(s.fd, resp); err != nil {
+			return err
+		}
+		if !last {
+			s.suppress(false)
+		}
+		if _, ok := s.ext.Recv(); !ok {
+			return fmt.Errorf("netapp: no response arrived")
+		}
+	}
+	return nil
+}
+
+// suppress toggles doorbell coalescing on the connection.
+func (s *NetServer) suppress(on bool) { s.c.K.SetKickSuppressed(s.fd, on) }
+
+// KVApp is a memcached- or redis-like in-memory store (Fig. 16).
+type KVApp struct {
+	AppName string
+	// Requests is the number of measured requests.
+	Requests int
+	// Batch is the coalescing depth (see package comment).
+	Batch int
+	// WorkNs is the per-request application work.
+	WorkNs float64
+	// ValueBytes is the value size (the paper uses 500 B, 1:1 R/W).
+	ValueBytes int
+}
+
+// Name implements Runner.
+func (a KVApp) Name() string { return a.AppName }
+
+// Run implements Runner.
+func (a KVApp) Run(c *backends.Container) (Result, error) {
+	srv, err := NewNetServer(c)
+	if err != nil {
+		return Result{}, err
+	}
+	value := make([]byte, a.ValueBytes)
+	req := make([]byte, 30+a.ValueBytes/2) // key + half the ops carry values
+	i := 0
+	work := func(r []byte) []byte {
+		i++
+		key := fmt.Sprintf("key-%d", i%512)
+		c.K.Compute(clock.FromNanos(a.WorkNs))
+		if i%2 == 0 {
+			srv.store[key] = value // SET
+			return []byte("STORED")
+		}
+		if v, ok := srv.store[key]; ok { // GET
+			return v
+		}
+		return []byte("END")
+	}
+	return measure(c, a.AppName, a.Requests, func() error {
+		done := 0
+		for done < a.Requests {
+			n := a.Batch
+			if a.Requests-done < n {
+				n = a.Requests - done
+			}
+			batch := make([][]byte, n)
+			for j := range batch {
+				batch[j] = req
+			}
+			if err := srv.ServeBatch(batch, work); err != nil {
+				return err
+			}
+			done += n
+		}
+		return nil
+	})
+}
+
+// Memcached returns the Fig. 16a application (shallow coalescing: its
+// worker threads drain queues before they deepen).
+func Memcached(requests int) KVApp {
+	return KVApp{AppName: "memcached", Requests: requests, Batch: 2, WorkNs: 900, ValueBytes: 500}
+}
+
+// Redis returns the Fig. 16b application (single-threaded: deeper
+// backlog, more coalescing, more per-request work).
+func Redis(requests int) KVApp {
+	return KVApp{AppName: "redis", Requests: requests, Batch: 8, WorkNs: 1400, ValueBytes: 500}
+}
+
+// IOApp is one bar group of Fig. 5: a server with a characteristic mix
+// of syscalls, bytes, doorbells and computation per request.
+type IOApp struct {
+	AppName string
+	// Requests measured.
+	Requests int
+	// Batch is the coalescing depth at the measured load.
+	Batch int
+	// ExtraSyscalls per request beyond poll/read/write (file opens,
+	// stats, a second connection's reads/writes for the proxy...).
+	ExtraSyscalls int
+	// ReqBytes/RespBytes sized per application.
+	ReqBytes, RespBytes int
+	// WorkNs is per-request application computation.
+	WorkNs float64
+}
+
+// Name implements Runner.
+func (a IOApp) Name() string { return a.AppName }
+
+// Run implements Runner.
+func (a IOApp) Run(c *backends.Container) (Result, error) {
+	srv, err := NewNetServer(c)
+	if err != nil {
+		return Result{}, err
+	}
+	resp := make([]byte, a.RespBytes)
+	req := make([]byte, a.ReqBytes)
+	work := func(r []byte) []byte {
+		for s := 0; s < a.ExtraSyscalls; s++ {
+			c.K.Getpid() // stand-in for the app's auxiliary syscalls
+		}
+		c.K.Compute(clock.FromNanos(a.WorkNs))
+		return resp
+	}
+	return measure(c, a.AppName, a.Requests, func() error {
+		done := 0
+		for done < a.Requests {
+			n := a.Batch
+			if a.Requests-done < n {
+				n = a.Requests - done
+			}
+			batch := make([][]byte, n)
+			for j := range batch {
+				batch[j] = req
+			}
+			if err := srv.ServeBatch(batch, work); err != nil {
+				return err
+			}
+			done += n
+		}
+		return nil
+	})
+}
+
+// Fig5Apps returns the I/O-intensive application set (the sqlite bar of
+// Fig. 5 is produced from the Fig. 14 fillrandom case by the harness).
+func Fig5Apps(scale int) []IOApp {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 200 * scale
+	return []IOApp{
+		{AppName: "nginx-static", Requests: n, Batch: 4, ExtraSyscalls: 4, ReqBytes: 200, RespBytes: 4096, WorkNs: 2600},
+		{AppName: "nginx-proxy", Requests: n, Batch: 4, ExtraSyscalls: 8, ReqBytes: 200, RespBytes: 4096, WorkNs: 3600},
+		{AppName: "httpd", Requests: n, Batch: 2, ExtraSyscalls: 6, ReqBytes: 200, RespBytes: 4096, WorkNs: 4800},
+		{AppName: "netperf-TX", Requests: n * 4, Batch: 16, ExtraSyscalls: 0, ReqBytes: 64, RespBytes: 16384, WorkNs: 350},
+		{AppName: "netperf-RR", Requests: n * 2, Batch: 1, ExtraSyscalls: 0, ReqBytes: 64, RespBytes: 64, WorkNs: 400},
+	}
+}

@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/backends"
+)
+
+// The Table 4 gap is a mechanism, not a constant: shrinking the TLB
+// raises the miss rate for everyone, and because HVM pays the
+// two-dimensional fill on every miss, its penalty over RunC must grow
+// as the TLB shrinks (and collapse when the TLB covers the whole
+// working set).
+func TestTable4GapScalesWithTLB(t *testing.T) {
+	gups := GUPS{TablePages: 2048, Updates: 6000}
+	gap := func(entries int) float64 {
+		runc, err := gups.Run(backends.MustNew(backends.RunC, backends.Options{TLBEntries: entries}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hvm, err := gups.Run(backends.MustNew(backends.HVM, backends.Options{TLBEntries: entries}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(hvm.Time) / float64(runc.Time)
+	}
+	small := gap(256)  // reach 1 MiB: essentially every access misses
+	large := gap(8192) // reach 32 MiB: covers the 8 MiB table
+	if small <= large {
+		t.Errorf("HVM/RunC gap did not grow with misses: small-TLB %.3f vs large-TLB %.3f", small, large)
+	}
+	if large > 1.05 {
+		t.Errorf("with a covering TLB the gap should vanish, got %.3f", large)
+	}
+	if small < 1.10 {
+		t.Errorf("with a tiny TLB the 2-D walk penalty should bite, got %.3f", small)
+	}
+}
