@@ -20,7 +20,20 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (empty = all)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit a JSON report instead of a table (chaos only)")
 	flag.Parse()
+
+	if *jsonOut {
+		if *exp != "chaos" {
+			fmt.Fprintln(os.Stderr, "ckibench: -json is only supported with -exp chaos")
+			os.Exit(2)
+		}
+		if err := bench.ChaosJSON(*scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	everything := append(bench.All(), bench.Extensions()...)
 	if *list {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,8 @@ import (
 	"strings"
 
 	"repro/internal/backends"
+	"repro/internal/faults"
+	"repro/internal/guest"
 	"repro/internal/inspect"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -51,6 +54,7 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and exit")
 	dump := flag.Bool("dump", false, "dump the active address space after the run")
 	traceN := flag.Int("trace", 0, "record the flow timeline and print its last N events")
+	faultSeed := flag.Uint64("faults", 0, "run under a deterministic fault plan with this seed (0 = off)")
 	flag.Parse()
 
 	cat := catalog()
@@ -88,8 +92,35 @@ func main() {
 	if *traceN > 0 {
 		c.K.Trace = trace.New(4096)
 	}
+	var plan *faults.Plan
+	if *faultSeed != 0 {
+		plan = faults.DefaultPlan(*faultSeed)
+		c.InjectFaults(plan)
+	}
 	res, err := runner.Run(c)
 	if err != nil {
+		// Under fault injection a guest-kernel panic or an aborted
+		// workload is an expected outcome, not a harness failure: report
+		// the containment result and the replayable fault log instead of
+		// exiting nonzero.
+		if plan != nil {
+			fmt.Printf("runtime:     %s\n", c.Name)
+			if errors.Is(err, guest.EKERNELDIED) || c.K.Died() {
+				fmt.Printf("outcome:     guest kernel panic (contained; host unaffected)\n")
+				fmt.Printf("panic:       %s\n", c.K.PanicReason())
+			} else {
+				fmt.Printf("outcome:     workload aborted by injected fault: %v\n", err)
+			}
+			fmt.Printf("fault plan:  seed=%#x injected: %s\n", plan.Seed(), plan.Summary())
+			for _, f := range plan.Log() {
+				fmt.Printf("  fired %-12s at occurrence %d\n", f.Site, f.Seq)
+			}
+			if *traceN > 0 {
+				fmt.Println()
+				fmt.Print(c.K.Trace.Render(*traceN))
+			}
+			return
+		}
 		fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
 		os.Exit(1)
 	}
@@ -102,6 +133,9 @@ func main() {
 	st := c.K.Stats
 	fmt.Printf("guest totals: syscalls=%d pgfaults=%d ptewrites=%d ctxsw=%d hypercalls=%d\n",
 		st.Syscalls, st.PageFaults, st.PTEWrites, st.CtxSwitches, st.Hypercalls)
+	if plan != nil {
+		fmt.Printf("fault plan:  seed=%#x injected: %s (survived)\n", plan.Seed(), plan.Summary())
+	}
 	if *dump {
 		fmt.Println()
 		fmt.Print(inspect.Render(c.HostMem, c.CPU.CR3()))

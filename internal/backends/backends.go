@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cki"
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/host"
 	"repro/internal/hw"
@@ -219,9 +220,15 @@ func NewOnMachine(m *Machine, kind Kind, opts Options, containerID int) (*Contai
 			c.Name += "-BM"
 		}
 	}
-	// Boot runs in host context.
+	// Boot runs in host context. CR3 is cleared so the boot flows see
+	// the fresh-core state: on a shared machine the core may still hold
+	// the previously active container's root, whose address space does
+	// not map this container's KSM areas.
 	c.CPU.SetMode(hw.ModeKernel)
 	if f := c.CPU.Wrpkrs(0); f != nil {
+		return nil, f
+	}
+	if f := c.CPU.WriteCR3(0, 0); f != nil {
 		return nil, f
 	}
 	var pv backendPV
@@ -275,6 +282,23 @@ func (c *Container) Activate() error {
 	}
 	c.CPU.SetMode(hw.ModeUser)
 	return nil
+}
+
+// InjectFaults attaches a fault plan to this container's guest-side
+// injection sites (guest kernel and virtual interrupt controller).
+// Host-level sites on a shared machine affect every co-resident
+// container and are wired separately via Machine.InjectFaults.
+func (c *Container) InjectFaults(inj faults.Injector) {
+	c.K.Inj = inj
+	c.K.VIC.Inj = inj
+}
+
+// InjectFaults attaches a fault plan to the machine-wide sites: the
+// host frame allocator and hypercall dispatch. These are shared — a
+// firing here is visible to every container on the machine.
+func (m *Machine) InjectFaults(inj faults.Injector) {
+	m.HostMem.Inj = inj
+	m.Host.Inj = inj
 }
 
 // MustNew is New, panicking on error (benchmarks and examples).

@@ -34,6 +34,15 @@ func (cl *Cluster) Add(kind Kind, opts Options) (*Container, error) {
 		return nil, err
 	}
 	cl.Containers = append(cl.Containers, c)
+	// Boot leaves the core in the new container's context but without
+	// the world-switch invariants Run assumes (a CKI guest still holds
+	// full KSM rights, PKRS=0). Activate explicitly so the first Run —
+	// which skips Activate for the already-active index — finds a
+	// properly deprivileged context.
+	if err := c.Activate(); err != nil {
+		cl.Containers = cl.Containers[:len(cl.Containers)-1]
+		return nil, err
+	}
 	cl.active = len(cl.Containers) - 1
 	return c, nil
 }

@@ -21,6 +21,10 @@ func TestGuestOOMGraceful(t *testing.T) {
 		{RunC, Options{HostFrames: 1 << 11}},
 		{HVM, Options{GuestFrames: 1 << 11}},
 		{PVM, Options{GuestFrames: 1 << 11}},
+		// CKI OOMs when the hotplug path (HcMemExtend) finds the host
+		// itself dry; gVisor allocates app memory straight from the host.
+		{CKI, Options{HostFrames: 1 << 12, SegmentFrames: 512}},
+		{GVisor, Options{HostFrames: 1 << 11}},
 	} {
 		cfg := cfg
 		c := MustNew(cfg.kind, cfg.opts)

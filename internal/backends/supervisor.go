@@ -1,0 +1,300 @@
+package backends
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cki"
+	"repro/internal/clock"
+	"repro/internal/faults"
+	"repro/internal/guest"
+)
+
+// The cluster supervisor: per-container health probing, a virtual-time
+// watchdog driven by the preemption timer, restart with capped
+// exponential backoff, and dead-container frame reclamation. This is
+// the recovery half of the Fig. 2 story — a guest-kernel panic costs
+// one container a bounded amount of virtual downtime, not the machine.
+
+// RestartPolicy configures the supervisor.
+type RestartPolicy struct {
+	// InitialBackoff is the delay before the first restart attempt;
+	// each subsequent crash doubles it, capped at MaxBackoff.
+	InitialBackoff clock.Time
+	MaxBackoff     clock.Time
+	// MaxRestarts caps restarts per container (0 = unlimited); past it
+	// the container is left dead (GaveUp).
+	MaxRestarts int
+	// HangTicks is the watchdog threshold: a container whose virtual-IF
+	// bit is clear while this many timer ticks pile up undelivered is
+	// declared hung and panicked.
+	HangTicks int
+	// WatchdogSlice is the preemption-timer period the supervisor arms
+	// on every container; the piling ticks are the watchdog's signal.
+	WatchdogSlice clock.Time
+	// ProbePeriod is the virtual time between supervision rounds: the
+	// supervisor runs on a timer, so each round costs at least this much
+	// wall-clock (virtual) time even when every container is busy. This
+	// is what lets a backoff deadline expire while siblings keep serving.
+	ProbePeriod clock.Time
+}
+
+// DefaultRestartPolicy returns the policy used by the chaos experiment.
+func DefaultRestartPolicy() RestartPolicy {
+	return RestartPolicy{
+		InitialBackoff: clock.Millisecond,
+		MaxBackoff:     64 * clock.Millisecond,
+		MaxRestarts:    0,
+		HangTicks:      3,
+		WatchdogSlice:  50 * clock.Microsecond,
+		ProbePeriod:    500 * clock.Microsecond,
+	}
+}
+
+// ContainerHealth is the supervisor's per-container record.
+type ContainerHealth struct {
+	Name string
+	Kind Kind
+	// RoundsOK counts supervised rounds served without a fatal fault.
+	RoundsOK int
+	// Crashes counts this container's own kernel panics (injected or
+	// watchdog-declared); Collateral counts deaths caused by a
+	// co-resident OS-level container panicking the shared host kernel.
+	Crashes    int
+	Collateral int
+	Restarts   int
+	// GaveUp is set when MaxRestarts was exhausted.
+	GaveUp    bool
+	LastPanic string
+	// TotalDowntime accumulates virtual time between each death and its
+	// restart; MTTR() averages it.
+	TotalDowntime clock.Time
+
+	down    bool
+	downAt  clock.Time
+	backoff clock.Time
+	retryAt clock.Time
+	inj     faults.Injector
+}
+
+// MTTR is the mean virtual time from death to restart.
+func (h *ContainerHealth) MTTR() clock.Time {
+	if h.Restarts == 0 {
+		return 0
+	}
+	return h.TotalDowntime / clock.Time(h.Restarts)
+}
+
+// Supervisor drives a Cluster through faults: probing, restarting, and
+// accounting for every container.
+type Supervisor struct {
+	Cl     *Cluster
+	Policy RestartPolicy
+	Health []*ContainerHealth
+}
+
+// NewSupervisor creates a supervisor over cl and arms the watchdog's
+// preemption timer on every container.
+func NewSupervisor(cl *Cluster, pol RestartPolicy) *Supervisor {
+	if pol.HangTicks <= 0 {
+		pol.HangTicks = 3
+	}
+	if pol.WatchdogSlice <= 0 {
+		pol.WatchdogSlice = 50 * clock.Microsecond
+	}
+	if pol.ProbePeriod <= 0 {
+		pol.ProbePeriod = 500 * clock.Microsecond
+	}
+	s := &Supervisor{Cl: cl, Policy: pol}
+	for _, c := range cl.Containers {
+		h := &ContainerHealth{Name: c.Name, Kind: c.Kind, backoff: pol.InitialBackoff, inj: c.K.Inj}
+		s.Health = append(s.Health, h)
+		c.K.EnablePreemption(pol.WatchdogSlice)
+	}
+	return s
+}
+
+// Supervise round-robins fn across the containers for the given number
+// of rounds. Before each visit the container is probed: a dead kernel
+// is restarted once its backoff expires, a hung one (watchdog) is
+// panicked first. fn errors carrying guest.EKERNELDIED mark the
+// container crashed; any other error aborts supervision.
+func (s *Supervisor) Supervise(rounds int, fn func(round int, c *Container) error) error {
+	for r := 0; r < rounds; r++ {
+		ran := false
+		for i := range s.Cl.Containers {
+			ok, err := s.visit(r, i, fn)
+			if err != nil {
+				return err
+			}
+			if ok {
+				ran = true
+			}
+		}
+		// Every container is dead and waiting out its backoff: nothing
+		// advances the clock, so the supervisor sleeps (in virtual
+		// time) until the earliest retry is due.
+		if !ran {
+			if t, waiting := s.earliestRetry(); waiting {
+				s.Cl.M.Clk.AdvanceTo(t)
+			}
+		}
+		// The supervisor's own timer tick: each round costs a probe
+		// period of virtual time, so backoff deadlines expire even while
+		// the surviving containers keep the round loop busy.
+		s.Cl.M.Clk.Advance(s.Policy.ProbePeriod)
+	}
+	return nil
+}
+
+// visit probes container i and, if it is serving, runs fn against it.
+// ok reports whether fn ran to completion.
+func (s *Supervisor) visit(round, i int, fn func(round int, c *Container) error) (bool, error) {
+	h := s.Health[i]
+	c := s.Cl.Containers[i]
+	if c.K.Died() {
+		s.noteDeath(i, false)
+		if !s.tryRestart(i) {
+			return false, nil
+		}
+		c = s.Cl.Containers[i]
+	}
+	if s.hung(c) {
+		c.K.Panic(fmt.Sprintf("watchdog: %d timer ticks pending with interrupts masked", c.K.VIC.Pending()))
+		s.noteDeath(i, false)
+		s.escalate(i)
+		return false, nil
+	}
+	err := s.Cl.Run(i, func(c *Container) error { return fn(round, c) })
+	if err == nil {
+		h.RoundsOK++
+		return true, nil
+	}
+	if errors.Is(err, guest.EKERNELDIED) {
+		s.noteDeath(i, false)
+		s.escalate(i)
+		return false, nil
+	}
+	return false, err
+}
+
+// hung implements the watchdog: the guest sits with its virtual-IF bit
+// clear while posted timer ticks pile up past the threshold.
+func (s *Supervisor) hung(c *Container) bool {
+	return !c.K.VIC.Enabled() && c.K.VIC.Pending() >= s.Policy.HangTicks
+}
+
+// noteDeath records a transition to the dead state (idempotent).
+func (s *Supervisor) noteDeath(i int, collateral bool) {
+	h := s.Health[i]
+	if h.down {
+		return
+	}
+	h.down = true
+	h.downAt = s.Cl.M.Clk.Now()
+	h.retryAt = h.downAt + h.backoff
+	h.LastPanic = s.Cl.Containers[i].K.PanicReason()
+	if collateral {
+		h.Collateral++
+	} else {
+		h.Crashes++
+	}
+	if s.Cl.active == i {
+		s.Cl.active = -1
+	}
+}
+
+// escalate models the blast radius of container i's crash. An OS-level
+// container (RunC) shares the host kernel: its kernel panic IS a host
+// panic, and every co-resident container dies with it — the Fig. 2
+// contrast the per-container-kernel runtimes exist to avoid.
+func (s *Supervisor) escalate(i int) {
+	if s.Cl.Containers[i].Kind != RunC {
+		return
+	}
+	for j, o := range s.Cl.Containers {
+		if j == i || o.K.Died() {
+			continue
+		}
+		o.K.Panic("host kernel panic: co-resident OS-level container crashed the shared kernel")
+		s.noteDeath(j, true)
+	}
+}
+
+// tryRestart replaces a dead container once its backoff has expired.
+// Returns true when the replacement is serving.
+func (s *Supervisor) tryRestart(i int) bool {
+	h := s.Health[i]
+	if h.GaveUp {
+		return false
+	}
+	if s.Policy.MaxRestarts > 0 && h.Restarts >= s.Policy.MaxRestarts {
+		h.GaveUp = true
+		return false
+	}
+	now := s.Cl.M.Clk.Now()
+	if now < h.retryAt {
+		return false
+	}
+	old := s.Cl.Containers[i]
+	id := old.K.ContainerID
+	// Reclaim the dead container's physical frames — including its
+	// KSM's, for CKI — before booting the replacement into them.
+	s.Cl.M.HostMem.FreeOwned(id)
+	s.Cl.M.HostMem.FreeOwned(cki.KSMOwner(id))
+	c, err := NewOnMachine(s.Cl.M, old.Kind, old.Opts, id)
+	if err != nil {
+		// The machine is too degraded to reboot the container now;
+		// retry after another backoff period.
+		h.retryAt = now + h.backoff
+		return false
+	}
+	if err := c.Activate(); err != nil {
+		h.retryAt = now + h.backoff
+		return false
+	}
+	s.Cl.Containers[i] = c
+	s.Cl.active = i
+	c.InjectFaults(h.inj)
+	c.K.EnablePreemption(s.Policy.WatchdogSlice)
+	h.Restarts++
+	h.TotalDowntime += s.Cl.M.Clk.Now() - h.downAt
+	h.down = false
+	h.backoff *= 2
+	if h.backoff > s.Policy.MaxBackoff {
+		h.backoff = s.Policy.MaxBackoff
+	}
+	return true
+}
+
+// earliestRetry returns the soonest retry deadline among dead
+// containers still eligible for restart.
+func (s *Supervisor) earliestRetry() (clock.Time, bool) {
+	var t clock.Time
+	found := false
+	for _, h := range s.Health {
+		if !h.down || h.GaveUp {
+			continue
+		}
+		if s.Policy.MaxRestarts > 0 && h.Restarts >= s.Policy.MaxRestarts {
+			continue
+		}
+		if !found || h.retryAt < t {
+			t = h.retryAt
+			found = true
+		}
+	}
+	return t, found
+}
+
+// Report renders the per-container survival table.
+func (s *Supervisor) Report(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %8s %8s %11s %9s %7s %12s\n",
+		"container", "rounds", "crashes", "collateral", "restarts", "gaveup", "mttr")
+	for _, h := range s.Health {
+		fmt.Fprintf(w, "%-10s %8d %8d %11d %9d %7v %12v\n",
+			h.Name, h.RoundsOK, h.Crashes, h.Collateral, h.Restarts, h.GaveUp, h.MTTR())
+	}
+	return nil
+}

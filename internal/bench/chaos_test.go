@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChaosDeterministic: the whole chaos experiment — five runtimes,
+// supervisor, restarts — replays byte-identically from the same seed.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		if err := ChaosJSON(1, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("chaos report not deterministic:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestChaosSurvivalShape: every runtime appears, the injected faults
+// caused at least one crash somewhere, and the cluster as a whole kept
+// serving (the supervisor did its job).
+func TestChaosSurvivalShape(t *testing.T) {
+	rep, err := RunChaos(1, ChaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Containers) != 5 {
+		t.Fatalf("containers = %d, want 5", len(rep.Containers))
+	}
+	crashes, rounds := 0, 0
+	for _, r := range rep.Containers {
+		crashes += r.Crashes
+		rounds += r.RoundsOK
+		if r.RoundsOK == 0 {
+			t.Errorf("%s never served a round", r.Runtime)
+		}
+	}
+	if crashes == 0 {
+		t.Error("no container ever crashed under the default plan")
+	}
+	if rounds == 0 {
+		t.Error("cluster served nothing")
+	}
+
+	var buf bytes.Buffer
+	if err := ExtChaos(1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RunC", "HVM-BM", "PVM-BM", "CKI-BM", "gVisor", "MTTR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos table missing %q", want)
+		}
+	}
+}

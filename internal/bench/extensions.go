@@ -23,6 +23,7 @@ func Extensions() []Experiment {
 		{"ext-cow", "Eager vs copy-on-write fork across runtimes", ExtCOW},
 		{"ext-density", "CKI container density (Challenge-1 at scale)", ExtDensity},
 		{"ext-preempt", "Timer-tick (preemption) tax per runtime", ExtPreempt},
+		{"chaos", "Fault-injection survival across runtimes (Fig. 2)", ExtChaos},
 	}
 }
 

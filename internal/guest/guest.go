@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/interrupt"
 	"repro/internal/mem"
@@ -117,6 +118,10 @@ type Stats struct {
 	TimerTicks    uint64
 	COWFaults     uint64
 	Signals       uint64
+	// InjectedFaults counts fault-plan firings observed by this kernel;
+	// Panics counts transitions to the died state (0 or 1 per boot).
+	InjectedFaults uint64
+	Panics         uint64
 }
 
 // Kernel is one container guest kernel instance bound to one vCPU.
@@ -158,6 +163,14 @@ type Kernel struct {
 	// interrupt flow) and the CPU moves to the next runnable process.
 	Timeslice clock.Time
 	timer     interrupt.Timer
+
+	// Inj, when non-nil, is the fault plan consulted at the kernel's
+	// injection sites (see package faults). nil injects nothing.
+	Inj faults.Injector
+	// dead marks a panicked guest kernel; every syscall thereafter
+	// returns EKERNELDIED (see panic.go).
+	dead     bool
+	panicMsg string
 }
 
 // New creates a guest kernel. The caller (a runtime backend) supplies
@@ -267,13 +280,17 @@ const (
 	ENOSYS  Errno = 38
 	ENOTDIR Errno = 20
 	EISDIR  Errno = 21
+	// EKERNELDIED is the sentinel every syscall returns after the guest
+	// kernel panicked (numerically ENOTRECOVERABLE): the container is
+	// dead but the host and its siblings are not — the Fig. 2 claim.
+	EKERNELDIED Errno = 131
 )
 
 var errnoNames = map[Errno]string{
 	ENOENT: "ENOENT", EBADF: "EBADF", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM",
 	EFAULT: "EFAULT", EEXIST: "EEXIST", EINVAL: "EINVAL", EPIPE: "EPIPE",
 	ENOSYS: "ENOSYS", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", ECHILD: "ECHILD",
-	ENFILE: "ENFILE",
+	ENFILE: "ENFILE", EKERNELDIED: "EKERNELDIED",
 }
 
 func (e Errno) Error() string {

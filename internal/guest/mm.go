@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/mmu"
@@ -123,6 +124,9 @@ func (k *Kernel) mapper(as *AddrSpace) *pagetable.Mapper {
 		},
 		Sink: func(level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
 			k.Stats.PTEWrites++
+			if k.fire(faults.PTEWrite) {
+				return k.corruptPTEWrite(as, level, va, ptp, idx, v)
+			}
 			return k.PV.WritePTE(k, as, level, va, ptp, idx, v)
 		},
 	}
@@ -357,6 +361,10 @@ func (k *Kernel) HandleUserFault(p *Proc, va uint64, write bool) error {
 		return EFAULT
 	}
 	k.Stats.PageFaults++
+	if k.fire(faults.FrameAlloc) {
+		// Transient allocator failure: graceful, the guest sees ENOMEM.
+		return ENOMEM
+	}
 	mp := k.mapper(p.AS)
 	if v.Huge {
 		base := va &^ uint64(mem.HugePageSize-1)
@@ -394,6 +402,9 @@ func (k *Kernel) HandleUserFault(p *Proc, va uint64, write bool) error {
 // under the runtime's regime), the exception delivery, the guest
 // handler, and the return. A protection violation surfaces as EFAULT.
 func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
+	if k.dead {
+		return EKERNELDIED
+	}
 	for try := 0; try < 3; try++ {
 		// Re-read the current process each attempt: a timer tick may
 		// have rescheduled between retries, and the faulting process is
@@ -408,10 +419,20 @@ func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
 		case hw.FaultNotMapped:
 			start := k.Clk.Now()
 			k.PV.FaultEnter(k)
+			if k.fire(faults.DoubleFault) {
+				// The #PF handler faults on its own frame push; the
+				// handler never returns (no FaultExit).
+				k.panicDoubleFault()
+				k.record(trace.PageFault, start)
+				return EKERNELDIED
+			}
 			err := k.HandleUserFault(p, va, acc == mmu.Write)
 			k.PV.FaultExit(k)
 			k.record(trace.PageFault, start)
 			if err != nil {
+				if k.dead {
+					return EKERNELDIED
+				}
 				return err
 			}
 		case hw.FaultProtection, hw.FaultPKU:

@@ -2,6 +2,7 @@ package guest
 
 import (
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/mmu"
 	"repro/internal/trace"
 )
@@ -12,11 +13,35 @@ import (
 // under PVM's redirection (Table 2, Fig. 10b).
 
 // syscall wraps a handler body with the runtime's entry/exit flows.
+// A died kernel serves nothing: every call returns EKERNELDIED without
+// entering the (corrupt) kernel.
 func (k *Kernel) syscall(body func() (uint64, error)) (uint64, error) {
+	if k.dead {
+		return 0, EKERNELDIED
+	}
 	k.Stats.Syscalls++
 	start := k.Clk.Now()
 	k.PV.SyscallEnter(k)
+	if k.fire(faults.KernelPF) {
+		// The handler dereferences a bad pointer in kernel mode with no
+		// VMA to back it — the classic CVE-class crash of Fig. 2.
+		k.Panic("unhandled #PF in kernel mode at syscall entry")
+		k.record(trace.Syscall, start)
+		return 0, EKERNELDIED
+	}
+	if k.fire(faults.StuckCLI) {
+		// The handler wedges with interrupts masked; from here on timer
+		// ticks pile up in the VIC until the supervisor's watchdog
+		// declares the container hung.
+		k.VIC.SetEnabled(false)
+	}
 	r, err := body()
+	if k.dead {
+		// The body hit a fatal injected fault; there is no kernel left
+		// to run the exit flow.
+		k.record(trace.Syscall, start)
+		return 0, EKERNELDIED
+	}
 	k.PV.SyscallExit(k)
 	k.record(trace.Syscall, start)
 	k.maybePreempt()
@@ -317,6 +342,9 @@ func (k *Kernel) BrkCall(newBrk uint64) (uint64, error) {
 // Hypercall issues a guest→host request through the runtime's gate and
 // counts it (used directly by device code and the microbenchmarks).
 func (k *Kernel) Hypercall(nr int, args ...uint64) (uint64, error) {
+	if k.dead {
+		return 0, EKERNELDIED
+	}
 	k.Stats.Hypercalls++
 	start := k.Clk.Now()
 	r, err := k.PV.Hypercall(k, nr, args...)

@@ -7,9 +7,11 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/virtio"
 )
@@ -36,8 +38,16 @@ type Kernel struct {
 	queues  map[uint64]*virtio.Queue
 	console []string
 
+	// Inj, when non-nil, can fail hypercall dispatch with a transient
+	// ErrHypercallFault (faults.Hypercall).
+	Inj faults.Injector
+
 	Stats Stats
 }
+
+// ErrHypercallFault is the transient failure injected at the hypercall
+// dispatch site.
+var ErrHypercallFault = errors.New("host: transient hypercall failure (injected)")
 
 // New creates a host kernel over m.
 func New(m *mem.PhysMem, costs *clock.Costs) (*Kernel, error) {
@@ -96,6 +106,9 @@ var (
 // documented at each case.
 func (k *Kernel) Hypercall(clk *clock.Clock, nr int, args ...uint64) (uint64, error) {
 	k.Stats.Hypercalls++
+	if k.Inj != nil && k.Inj.Fire(faults.Hypercall) {
+		return 0, ErrHypercallFault
+	}
 	switch nr {
 	case HcConsole:
 		clk.Advance(bodyConsole)

@@ -8,6 +8,7 @@ package interrupt
 
 import (
 	"repro/internal/clock"
+	"repro/internal/faults"
 )
 
 // Controller is one container's virtual interrupt controller.
@@ -16,10 +17,15 @@ type Controller struct {
 	// enabled is the guest's in-memory virtual-IF bit.
 	enabled bool
 
+	// Inj, when non-nil, can lose posted interrupts (faults.IRQDrop) —
+	// the host-side race a real posted-interrupt path can hit.
+	Inj faults.Injector
+
 	Stats struct {
 		Posted    uint64
 		Delivered uint64
 		Deferred  uint64
+		Dropped   uint64
 	}
 }
 
@@ -35,6 +41,10 @@ func (c *Controller) Enabled() bool { return c.enabled }
 
 // Post queues a virtual interrupt from the host side.
 func (c *Controller) Post(vector int) {
+	if c.Inj != nil && c.Inj.Fire(faults.IRQDrop) {
+		c.Stats.Dropped++
+		return
+	}
 	c.pending = append(c.pending, vector)
 	c.Stats.Posted++
 }

@@ -17,6 +17,8 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/faults"
 )
 
 // Page geometry of the simulated machine (x86-64, 4-level paging).
@@ -84,6 +86,10 @@ type PhysMem struct {
 	// frames and segments rarely collide.
 	segCursor PFN
 	inUse     int
+
+	// Inj, when non-nil, can fail single-frame allocations
+	// (faults.HostAlloc) — machine-wide memory pressure.
+	Inj faults.Injector
 }
 
 // New creates a physical memory of the given number of 4 KiB frames.
@@ -116,6 +122,9 @@ func (m *PhysMem) InUse() int { return m.inUse }
 
 // Alloc allocates one frame and assigns it to owner.
 func (m *PhysMem) Alloc(owner int) (PFN, error) {
+	if m.Inj != nil && m.Inj.Fire(faults.HostAlloc) {
+		return 0, ErrOutOfMemory
+	}
 	for scanned := 0; scanned < m.frames; scanned++ {
 		p := m.nextFree
 		m.nextFree++
@@ -174,6 +183,28 @@ func (m *PhysMem) Free(p PFN) error {
 	delete(m.pages, p)
 	m.inUse--
 	return nil
+}
+
+// FreeOwned releases every frame tagged with owner back to the
+// allocator — the host reclaiming a dead container's memory before
+// booting its replacement. Segment frames freed at the bottom of the
+// segment region move segCursor back up, so repeated crash/restart
+// cycles do not exhaust the contiguous-delegation space.
+func (m *PhysMem) FreeOwned(owner int) int {
+	n := 0
+	for p := PFN(1); p < PFN(m.frames); p++ {
+		if m.allocated[p] && int(m.owner[p]) == owner {
+			m.allocated[p] = false
+			m.owner[p] = NoOwner
+			delete(m.pages, p)
+			m.inUse--
+			n++
+		}
+	}
+	for m.segCursor < PFN(m.frames) && !m.allocated[m.segCursor] {
+		m.segCursor++
+	}
+	return n
 }
 
 // Owner returns the owner tag of a frame, or NoOwner.

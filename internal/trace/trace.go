@@ -24,10 +24,15 @@ const (
 	CtxSwitch
 	TimerTick
 	VirtioKick
+	// FaultInject marks a triggered fault-plan injection.
+	FaultInject
+	// Panic marks the guest kernel's transition to the died state.
+	Panic
 )
 
 var kindNames = [...]string{
 	"syscall", "pagefault", "protfault", "hypercall", "ctxsw", "tick", "kick",
+	"inject", "panic",
 }
 
 func (k Kind) String() string { return kindNames[k] }

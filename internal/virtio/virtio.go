@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/mem"
 )
 
@@ -48,6 +49,8 @@ type Stats struct {
 	Kicks      uint64
 	Suppressed uint64
 	Completed  uint64
+	// Dropped counts doorbells lost to fault injection.
+	Dropped uint64
 }
 
 // Queue is one virtqueue shared between a guest producer and a host
@@ -64,6 +67,10 @@ type Queue struct {
 	Kick func() error
 	// Dev processes one request payload.
 	Dev Device
+	// Inj, when non-nil, can drop doorbells (faults.VirtioKick): the
+	// descriptors stay published and are recovered by the next
+	// successful kick, like a lost MSI.
+	Inj faults.Injector
 
 	payloads  map[uint64][]byte
 	responses map[uint64][]byte
@@ -137,6 +144,10 @@ func (q *Queue) NeedsKick() bool {
 func (q *Queue) KickIfNeeded(clk *clock.Clock) error {
 	if !q.NeedsKick() {
 		q.stats.Suppressed++
+		return nil
+	}
+	if q.Inj != nil && q.Inj.Fire(faults.VirtioKick) {
+		q.stats.Dropped++
 		return nil
 	}
 	q.stats.Kicks++
