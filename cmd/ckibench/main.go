@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -20,16 +21,22 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (empty = all)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.Bool("json", false, "emit a JSON report instead of a table (chaos only)")
+	jsonOut := flag.Bool("json", false, "emit a JSON report instead of a table (chaos and smp)")
 	flag.Parse()
 
 	if *jsonOut {
-		if *exp != "chaos" {
-			fmt.Fprintln(os.Stderr, "ckibench: -json is only supported with -exp chaos")
+		var emit func(int, io.Writer) error
+		switch *exp {
+		case "chaos":
+			emit = bench.ChaosJSON
+		case "smp":
+			emit = bench.SMPJSON
+		default:
+			fmt.Fprintln(os.Stderr, "ckibench: -json is only supported with -exp chaos or -exp smp")
 			os.Exit(2)
 		}
-		if err := bench.ChaosJSON(*scale, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "ckibench: chaos: %v\n", err)
+		if err := emit(*scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: %s: %v\n", *exp, err)
 			os.Exit(1)
 		}
 		return

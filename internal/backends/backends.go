@@ -23,6 +23,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/smp"
 	"repro/internal/tlb"
 )
 
@@ -134,6 +135,10 @@ type Container struct {
 	K *guest.Kernel
 
 	pv backendPV
+	// smp is the machine's multi-vCPU engine (nil on single-core
+	// machines); vcpu is the vCPU the container currently runs on.
+	smp  *smp.Engine
+	vcpu int
 }
 
 // backendPV extends guest.Paravirt with backend-level services the
@@ -159,6 +164,43 @@ type Machine struct {
 	Host    *host.Kernel
 	CPU     *hw.CPU
 	MMU     *mmu.Unit
+	// SMP is the multi-vCPU engine, attached by EnableSMP. vCPU 0 wraps
+	// CPU/MMU, so a machine with an engine behaves identically for
+	// single-vCPU containers.
+	SMP *smp.Engine
+}
+
+// EnableSMP attaches an n-vCPU engine to the machine and wires the
+// host's HcSendIPI fan-out into the per-vCPU pending queues. Idempotent
+// when the existing engine is already at least n vCPUs wide.
+func (m *Machine) EnableSMP(n int) error {
+	if m.SMP != nil {
+		if m.SMP.NumVCPU() >= n {
+			return nil
+		}
+		return fmt.Errorf("backends: SMP engine already attached with %d vCPUs, want %d", m.SMP.NumVCPU(), n)
+	}
+	e, err := smp.New(m.Clk, m.Costs, m.HostMem, m.CPU, m.MMU, n)
+	if err != nil {
+		return err
+	}
+	m.SMP = e
+	m.Host.IPISink = e.Post
+	return nil
+}
+
+// FlushContainerTLB scrubs the core's TLB — and every SMP vCPU's — of
+// entries belonging to container id. Guest PCIDs encode the container
+// in their high byte, which also covers the KSM-area translations (the
+// gate touches those under the guest's PCID). The supervisor calls this
+// when recycling a dead container so its replacement never resolves
+// through a corpse's page tables.
+func (m *Machine) FlushContainerTLB(id int) {
+	pred := func(pcid uint16) bool { return int(pcid>>8) == id }
+	m.MMU.TLB.FlushIf(pred)
+	if m.SMP != nil {
+		m.SMP.FlushAllTLBs(pred)
+	}
 }
 
 // NewMachine builds a machine. The CPU always carries the PKS hardware
@@ -200,8 +242,14 @@ func New(kind Kind, opts Options) (*Container, error) {
 }
 
 // NewOnMachine boots a container with the given ID on a shared machine.
+// A multi-vCPU container attaches (or reuses) the machine's SMP engine.
 func NewOnMachine(m *Machine, kind Kind, opts Options, containerID int) (*Container, error) {
 	opts = opts.withDefaults()
+	if opts.NumVCPU > 1 {
+		if err := m.EnableSMP(opts.NumVCPU); err != nil {
+			return nil, err
+		}
+	}
 	c := &Container{
 		Kind:    kind,
 		Opts:    opts,
@@ -211,6 +259,7 @@ func NewOnMachine(m *Machine, kind Kind, opts Options, containerID int) (*Contai
 		HostMem: m.HostMem,
 		MMU:     m.MMU,
 		CPU:     m.CPU,
+		smp:     m.SMP,
 	}
 	c.Name = kind.String()
 	if kind != RunC && kind != GVisor {
@@ -321,32 +370,94 @@ func (c *Container) CKIInternals() (ksm *cki.KSM, gate *cki.Gate, sw *cki.Switch
 }
 
 // MigrateVCPU moves the container's execution to another virtual CPU.
-// Under CKI this reloads CR3 with that vCPU's per-vCPU top-level copy
-// (the Fig. 8c machinery); other runtimes just pay the migration cost.
+// The host scheduler saves register state on the old core, the runtime
+// pays its own reload flow on the new one (a cold-TLB refill natively,
+// a VMCS reload on top under HVM, a verified per-vCPU CR3 copy under
+// CKI — the Fig. 8c machinery), and the container's CPU/MMU bindings
+// move to the target vCPU when the machine has an SMP engine.
 func (c *Container) MigrateVCPU(v int) error {
 	if v < 0 || v >= c.Opts.NumVCPU {
 		return fmt.Errorf("backends: vCPU %d out of range (%d configured)", v, c.Opts.NumVCPU)
 	}
-	c.Clk.Advance(c.Costs.RegsSwap + c.Costs.PTSwitchNoPTI)
-	if b, ok := c.pv.(*ckiPV); ok {
-		b.vcpu = v
-		b.gate.VCPU = v
-		// The migration runs in kernel context (it is the host's
-		// scheduler moving the vCPU thread).
-		mode := c.CPU.Mode()
-		c.CPU.SetMode(hw.ModeKernel)
-		defer c.CPU.SetMode(mode)
-		return b.SwitchAS(c.K, c.K.Cur.AS)
+	c.Clk.Advance(c.Costs.RegsSwap + c.pv.migrationCost())
+	mode := c.CPU.Mode()
+	root, pcid := c.CPU.CR3(), c.CPU.PCID()
+	if c.smp != nil && v < c.smp.NumVCPU() {
+		t := c.smp.VCPUs[v]
+		t.Stats.MigrationsIn++
+		c.CPU = t.CPU
+		c.MMU = t.MMU
+		c.K.CPU = t.CPU
 	}
+	c.vcpu = v
+	c.K.Stats.VCPUMigrations++
+	// Context restore runs in kernel mode (the host's scheduler moving
+	// the vCPU thread).
+	c.CPU.SetMode(hw.ModeKernel)
+	if c.CPU.PKSExt {
+		if f := c.CPU.Wrpkrs(0); f != nil {
+			return f
+		}
+	}
+	if b, ok := c.pv.(vcpuAware); ok {
+		b.setVCPU(v)
+	}
+	if b, ok := c.pv.(*ckiPV); ok {
+		// Reload this vCPU's validated top-level copy.
+		if err := b.hostActivate(c.K); err != nil {
+			return err
+		}
+	} else if f := c.CPU.WriteCR3(root, pcid); f != nil {
+		return f
+	}
+	c.CPU.SetMode(mode)
 	return nil
 }
 
 // VCPU reports the container's current virtual CPU.
-func (c *Container) VCPU() int {
-	if b, ok := c.pv.(*ckiPV); ok {
-		return b.vcpu
+func (c *Container) VCPU() int { return c.vcpu }
+
+// SMPEngine exposes the machine's multi-vCPU engine (nil on
+// single-core machines) for experiments and stat collection.
+func (c *Container) SMPEngine() *smp.Engine { return c.smp }
+
+// watchdogWedgeTicks is how many pending ticks a hung shootdown
+// initiator piles onto its masked VIC — comfortably above the default
+// watchdog HangTicks, so the supervisor declares the kernel hung.
+const watchdogWedgeTicks = 8
+
+// vcpuMask packs a target list into an IPI destination bitmask.
+func vcpuMask(targets []int) uint64 {
+	var m uint64
+	for _, t := range targets {
+		m |= 1 << uint(t)
 	}
-	return 0
+	return m
+}
+
+// emitShootdown drives the TLB-shootdown protocol for one mediated PTE
+// downgrade. Containers spanning a single vCPU have no remote TLBs and
+// return immediately (FlushPage already invalidated locally). A hung
+// initiator — every resend lost — spins forever on real hardware; here
+// the virtual-IF bit is masked and ticks pile up so the supervisor's
+// watchdog catches and recycles the container.
+func (c *Container) emitShootdown(k *guest.Kernel, spec smp.ShootdownSpec) {
+	if c.smp == nil || c.Opts.NumVCPU < 2 {
+		return
+	}
+	spec.Initiator = c.vcpu
+	spec.Targets = c.smp.Others(c.vcpu, c.Opts.NumVCPU)
+	if len(spec.Targets) == 0 {
+		return
+	}
+	spec.Inj = k.Inj
+	k.Stats.TLBShootdowns++
+	if _, err := c.smp.Shootdown(spec); err != nil {
+		k.VIC.SetEnabled(false)
+		for i := 0; i < watchdogWedgeTicks; i++ {
+			k.VIC.Post(hw.VectorTimer)
+		}
+	}
 }
 
 // DeliverVirtIRQ exposes the runtime's virtual-interrupt delivery flow.
@@ -382,4 +493,13 @@ type internalPV interface {
 	guestMemory() *mem.PhysMem
 	// boot runs once before the init process is created.
 	boot(k *guest.Kernel) error
+	// migrationCost is what moving the vCPU to another core costs this
+	// runtime on top of the host's register swap.
+	migrationCost() clock.Time
 }
+
+// vcpuAware backends track which vCPU they run on (per-vCPU state:
+// CKI's validated CR3 copies and call-gate binding, HVM's private
+// virtual TLBs). setVCPU runs after the container's CPU/MMU have been
+// rebound to the target vCPU.
+type vcpuAware interface{ setVCPU(v int) }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
+	"repro/internal/smp"
 )
 
 // ckiPV is the paper's runtime: the guest kernel runs in CPU kernel
@@ -68,6 +69,56 @@ func (b *ckiPV) boot(k *guest.Kernel) error {
 
 // KSM exposes the monitor (harness, security tests).
 func (b *ckiPV) KSM() *cki.KSM { return b.ksm }
+
+// setVCPU rebinds the backend to the vCPU the container was just
+// migrated to: the gate must issue its checks on that core's CPU/MMU,
+// and the per-vCPU copy index follows the move.
+func (b *ckiPV) setVCPU(v int) {
+	b.vcpu = v
+	b.gate.VCPU = v
+	b.gate.CPU = b.c.CPU
+	b.gate.MMU = b.c.MMU
+}
+
+// migrationCost: CKI's CR3 reload itself is charged by hostActivate
+// (verify + switch); what migration adds is the cold TLB on the new
+// core.
+func (b *ckiPV) migrationCost() clock.Time {
+	return b.c.Costs.MigrationTLBRefill
+}
+
+// EmitShootdown is the KSM-mediated protocol of the SMP model: the
+// guest kernel cannot write the ICR (PKS-blocked), so it issues one
+// HcSendIPI through the switcher with the target mask; the host
+// validates the mask and posts the vector to each sibling vCPU. The
+// remote handler invalidates the stale translation and — the CKI
+// twist — has the KSM refresh that vCPU's top-level PTP copy, so a
+// downgraded PML4 entry cannot survive in a sibling's private copy.
+func (b *ckiPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
+	c := b.c.Costs
+	b.c.emitShootdown(k, smp.ShootdownSpec{
+		PCID: as.PCID,
+		VA:   va,
+		Send: func(targets []int) error {
+			mode := k.CPU.Mode()
+			k.CPU.SetMode(hw.ModeKernel)
+			defer k.CPU.SetMode(mode)
+			_, err := b.sw.Hypercall(host.HcSendIPI,
+				vcpuMask(targets), uint64(hw.VectorIPI))
+			return err
+		},
+		RemoteCost: func(int) clock.Time {
+			// Extended delivery on the remote: deliver, invlpg, the KSM's
+			// copy re-verification, ack write, extended iret.
+			return c.InterruptDeliver + c.Invlpg + c.KSMPTEVerify +
+				c.IPIAck + c.Iret
+		},
+		RemoteFlush: func(v *smp.VCPU) error {
+			_, err := b.ksm.RefreshTopCopy(as.Root, v.ID)
+			return err
+		},
+	})
+}
 
 // Switcher exposes the host gate (attack simulations).
 func (b *ckiPV) Switcher() *cki.Switcher { return b.sw }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
+	"repro/internal/smp"
 )
 
 // gvisorPV models the userspace-kernel design point of §2.4.3 (gVisor):
@@ -136,6 +137,37 @@ func (b *gvisorPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, e
 
 func (b *gvisorPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
 	return clock.FromNanos(260) // Sentry file-region registration
+}
+
+// migrationCost: moving a Sentry task costs the host migration plus a
+// Sentry reschedule on the destination.
+func (b *gvisorPV) migrationCost() clock.Time {
+	return b.c.Costs.PTSwitchNoPTI + clock.FromNanos(sentrySchedNs) +
+		b.c.Costs.MigrationTLBRefill
+}
+
+// EmitShootdown: the Sentry cannot touch the ICR itself — it asks the
+// host (membarrier/munmap path), which then broadcasts natively.
+func (b *gvisorPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
+	b.c.emitShootdown(k, smp.ShootdownSpec{
+		PCID: as.PCID,
+		VA:   va,
+		Send: func(targets []int) error {
+			// One host syscall by the Sentry, then per-target ICR writes
+			// executed by the host kernel.
+			k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+			mode := k.CPU.Mode()
+			k.CPU.SetMode(hw.ModeKernel)
+			defer k.CPU.SetMode(mode)
+			for _, t := range targets {
+				k.Clk.Advance(b.c.Costs.IPISend)
+				if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
+					return f
+				}
+			}
+			return nil
+		},
+	})
 }
 
 func (b *gvisorPV) DeliverVirtIRQ(k *guest.Kernel) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
+	"repro/internal/smp"
 	"repro/internal/tlb"
 )
 
@@ -25,13 +26,24 @@ type hvmPV struct {
 	// gPA (as the walk's "virtual" address) to hPA.
 	eptRoot mem.PFN
 	eptMap  *pagetable.Mapper
-	// tlb is the virtual TLB caching gVA→gPA translations tagged by the
-	// guest's PCID (VPID in hardware terms).
-	tlb *tlb.TLB
+	// vtlbs are the per-vCPU virtual TLBs caching gVA→gPA translations
+	// tagged by the guest's PCID (VPID in hardware terms); vcpu selects
+	// the one backing the core the container currently runs on.
+	vtlbs []*tlb.TLB
+	vcpu  int
 
 	// Stats.
 	EPTViolations uint64
 	VMExits       uint64
+}
+
+// vtlb is the virtual TLB of the current vCPU.
+func (b *hvmPV) vtlb() *tlb.TLB { return b.vtlbs[b.vcpu] }
+
+func (b *hvmPV) setVCPU(v int) {
+	if v >= 0 && v < len(b.vtlbs) {
+		b.vcpu = v
+	}
 }
 
 func newHVMPV(c *Container, id int) (*hvmPV, error) {
@@ -45,7 +57,9 @@ func newHVMPV(c *Container, id int) (*hvmPV, error) {
 		id:       id,
 		guestMem: gm,
 		eptRoot:  root,
-		tlb:      tlb.New(c.Opts.TLBEntries),
+	}
+	for i := 0; i < c.Opts.NumVCPU; i++ {
+		b.vtlbs = append(b.vtlbs, tlb.New(c.Opts.TLBEntries))
 	}
 	b.eptMap = &pagetable.Mapper{
 		Mem:   c.HostMem,
@@ -179,7 +193,7 @@ func (b *hvmPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
 
 func (b *hvmPV) FlushPage(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 	k.Clk.Advance(b.c.Costs.Invlpg)
-	b.tlb.FlushPage(as.PCID, va)
+	b.vtlb().FlushPage(as.PCID, va)
 }
 
 // UserAccess is the two-dimensional translation: a vTLB probe, then a
@@ -188,7 +202,7 @@ func (b *hvmPV) FlushPage(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 // re-execute the access).
 func (b *hvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc mmu.Access) *hw.Fault {
 	pcid := k.CPU.PCID()
-	if e, ok := b.tlb.Lookup(pcid, va); ok {
+	if e, ok := b.vtlb().Lookup(pcid, va); ok {
 		return mmu.Check(k.CPU, e, va, acc)
 	}
 	ptp := as.Root
@@ -230,7 +244,7 @@ func (b *hvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc 
 			if err == nil {
 				pagetable.SetAccessedDirty(b.guestMem, w, acc == mmu.Write)
 			}
-			b.tlb.Insert(pcid, va, agg)
+			b.vtlb().Insert(pcid, va, agg)
 			return nil
 		}
 		ptp = e.PFN()
@@ -249,6 +263,48 @@ func (b *hvmPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
 		return b.c.Costs.MmapFileExtraHVMNST
 	}
 	return b.c.Costs.MmapFileExtraHVMBM
+}
+
+// migrationCost: KVM reloads the VMCS on the destination core (nested,
+// the reload is L0-forwarded) and the vTLB there starts cold.
+func (b *hvmPV) migrationCost() clock.Time {
+	c := b.c.Costs
+	d := c.VMCSReload + c.MigrationTLBRefill
+	if b.c.Opts.Nested {
+		d += 2 * c.NestedLegRT
+	}
+	return d
+}
+
+// EmitShootdown: a guest ICR write in non-root mode traps (no APICv
+// assist modelled), so each send is a VM exit; each remote vCPU also
+// exits for the flush IPI and re-enters after the ack.
+func (b *hvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
+	c := b.c.Costs
+	b.c.emitShootdown(k, smp.ShootdownSpec{
+		PCID: as.PCID,
+		VA:   va,
+		Send: func(targets []int) error {
+			for _, t := range targets {
+				b.VMExits++
+				k.Clk.Advance(b.vmExitCost() + c.IPISend)
+				b.c.smp.Post(t, hw.VectorIPI)
+			}
+			return nil
+		},
+		RemoteCost: func(int) clock.Time {
+			if b.c.Opts.Nested {
+				return 2*c.NestedLegRT + c.InterruptDeliver + c.Invlpg + c.IPIAck
+			}
+			return c.VMExit + c.InterruptDeliver + c.Invlpg + c.IPIAck + c.VMEntry
+		},
+		RemoteFlush: func(v *smp.VCPU) error {
+			if v.ID < len(b.vtlbs) {
+				b.vtlbs[v.ID].FlushPage(as.PCID, va)
+			}
+			return nil
+		},
+	})
 }
 
 func (b *hvmPV) DeliverVirtIRQ(k *guest.Kernel) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
+	"repro/internal/smp"
 )
 
 // pvmPV is the software-based virtualization backend (PVM, SOSP'23).
@@ -237,6 +238,34 @@ func (b *pvmPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
 		return b.c.Costs.MmapFileExtraPVMNST
 	}
 	return b.c.Costs.MmapFileExtraPVM
+}
+
+// migrationCost: the host moves the vCPU thread — one host leg to load
+// the shadow root on the destination, which starts with a cold TLB.
+func (b *pvmPV) migrationCost() clock.Time {
+	return b.hostLeg() + b.c.Costs.MigrationTLBRefill
+}
+
+// EmitShootdown: the deprivileged guest kernel cannot write the ICR —
+// one hypercall, and the host fans the IPIs out. The remote side is
+// cheap: the IPI lands in the host, which invalidates the shadow
+// translation directly without switching into the remote guest.
+func (b *pvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
+	c := b.c.Costs
+	b.c.emitShootdown(k, smp.ShootdownSpec{
+		PCID: as.PCID,
+		VA:   va,
+		Send: func(targets []int) error {
+			b.VMExits++
+			k.Clk.Advance(b.hypercallCost())
+			_, err := b.c.Host.Hypercall(k.Clk, host.HcSendIPI,
+				vcpuMask(targets), uint64(hw.VectorIPI))
+			return err
+		},
+		RemoteCost: func(int) clock.Time {
+			return c.InterruptDeliver + c.Invlpg + c.IPIAck + c.Iret
+		},
+	})
 }
 
 func (b *pvmPV) DeliverVirtIRQ(k *guest.Kernel) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
+	"repro/internal/smp"
 )
 
 // runcPV is the OS-level container baseline: the "guest kernel" is the
@@ -103,6 +104,34 @@ func (b *runcPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, err
 
 func (b *runcPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
 	return b.c.Costs.MmapFileExtraRunC
+}
+
+// migrationCost: a native task migration is a CR3 load plus the cold
+// TLB the task finds on the new core.
+func (b *runcPV) migrationCost() clock.Time {
+	return b.c.Costs.PTSwitchNoPTI + b.c.Costs.MigrationTLBRefill
+}
+
+// EmitShootdown broadcasts a native TLB shootdown: the (host) kernel
+// writes the ICR once per target core; each remote runs the ordinary
+// flush-IPI handler (deliver, invlpg, ack, iret).
+func (b *runcPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
+	b.c.emitShootdown(k, smp.ShootdownSpec{
+		PCID: as.PCID,
+		VA:   va,
+		Send: func(targets []int) error {
+			mode := k.CPU.Mode()
+			k.CPU.SetMode(hw.ModeKernel)
+			defer k.CPU.SetMode(mode)
+			for _, t := range targets {
+				k.Clk.Advance(b.c.Costs.IPISend)
+				if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
+					return f
+				}
+			}
+			return nil
+		},
+	})
 }
 
 func (b *runcPV) DeliverVirtIRQ(k *guest.Kernel) {

@@ -1,0 +1,192 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// The SMP correctness mechanics of the shootdown protocol, exercised
+// end to end on every runtime: a PTE downgrade on one vCPU must be
+// visible — as a fault — on every sibling whose TLB cached the old
+// translation.
+
+func smpOpts(kind Kind, n int) Options {
+	o := Options{NumVCPU: n}
+	if kind == HVM || kind == PVM {
+		o.GuestFrames = 1 << 12
+	}
+	return o
+}
+
+func allSMPKinds() []Kind { return []Kind{RunC, HVM, PVM, CKI, GVisor} }
+
+// TestStaleTLBReadFaultsAfterCrossVCPUUnmap is the tentpole invariant:
+// warm a translation into two vCPUs' TLBs, munmap on vCPU 0, and the
+// subsequent access on vCPU 1 must fault — on every backend. Without
+// the shootdown the sibling's PCID-tagged entry would silently satisfy
+// the read from a freed frame.
+func TestStaleTLBReadFaultsAfterCrossVCPUUnmap(t *testing.T) {
+	for _, kind := range allSMPKinds() {
+		c := MustNew(kind, smpOpts(kind, 2))
+		t.Run(c.Name, func(t *testing.T) {
+			k := c.K
+			addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+			if err != nil {
+				t.Fatalf("mmap: %v", err)
+			}
+			// Warm the translation on both vCPUs.
+			if err := k.TouchRange(addr, mem.PageSize, mmu.Write); err != nil {
+				t.Fatalf("touch on vCPU 0: %v", err)
+			}
+			if err := c.MigrateVCPU(1); err != nil {
+				t.Fatalf("migrate to vCPU 1: %v", err)
+			}
+			if err := k.TouchRange(addr, mem.PageSize, mmu.Read); err != nil {
+				t.Fatalf("touch on vCPU 1: %v", err)
+			}
+			if err := c.MigrateVCPU(0); err != nil {
+				t.Fatalf("migrate back: %v", err)
+			}
+			before := k.Stats.TLBShootdowns
+			if err := k.MunmapCall(addr, mem.PageSize); err != nil {
+				t.Fatalf("munmap: %v", err)
+			}
+			if k.Stats.TLBShootdowns == before {
+				t.Fatal("munmap of a resident page emitted no shootdown")
+			}
+			if e := c.SMPEngine(); e == nil || e.Stats.Shootdowns == 0 {
+				t.Fatal("engine recorded no shootdown")
+			}
+			if err := c.MigrateVCPU(1); err != nil {
+				t.Fatalf("migrate to vCPU 1: %v", err)
+			}
+			if err := k.TouchRange(addr, mem.PageSize, mmu.Read); err == nil {
+				t.Fatal("stale-TLB read on vCPU 1 succeeded after cross-vCPU unmap")
+			}
+		})
+	}
+}
+
+// TestSingleVCPUEmitsNoShootdown: a 1-vCPU container must never reach
+// the protocol (and so never consult the IPI fault sites).
+func TestSingleVCPUEmitsNoShootdown(t *testing.T) {
+	c := MustNew(CKI, Options{})
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.MunmapCall(addr, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats.TLBShootdowns != 0 {
+		t.Errorf("TLBShootdowns = %d on a single-vCPU container", k.Stats.TLBShootdowns)
+	}
+}
+
+// TestMigrationCountsAndCharges: satellite 1 — MigrateVCPU must charge
+// the per-backend migration flow and bump both the guest-kernel and
+// per-vCPU counters.
+func TestMigrationCountsAndCharges(t *testing.T) {
+	for _, kind := range allSMPKinds() {
+		c := MustNew(kind, smpOpts(kind, 2))
+		t.Run(c.Name, func(t *testing.T) {
+			start := c.Clk.Now()
+			if err := c.MigrateVCPU(1); err != nil {
+				t.Fatalf("migrate: %v", err)
+			}
+			charged := c.Clk.Now() - start
+			min := c.Costs.RegsSwap + c.Costs.MigrationTLBRefill
+			if kind == HVM {
+				min += c.Costs.VMCSReload
+			}
+			if charged < min {
+				t.Errorf("migration charged %v, want at least %v", charged, min)
+			}
+			if c.VCPU() != 1 {
+				t.Errorf("VCPU() = %d, want 1", c.VCPU())
+			}
+			if c.K.Stats.VCPUMigrations != 1 {
+				t.Errorf("VCPUMigrations = %d, want 1", c.K.Stats.VCPUMigrations)
+			}
+			e := c.SMPEngine()
+			if e == nil {
+				t.Fatal("no SMP engine on a 2-vCPU container")
+			}
+			if e.VCPUs[1].Stats.MigrationsIn != 1 {
+				t.Errorf("MigrationsIn = %d, want 1", e.VCPUs[1].Stats.MigrationsIn)
+			}
+			// The container still works on the new vCPU.
+			if pid := c.K.Getpid(); pid != 1 {
+				t.Errorf("getpid = %d after migration", pid)
+			}
+		})
+	}
+}
+
+// TestHungShootdownWedgesForWatchdog: satellite 6 — when every IPI
+// (including resends) is lost, the initiator wedges: virtual-IF masked
+// with enough pending ticks that the supervisor's hang detector trips.
+func TestHungShootdownWedgesForWatchdog(t *testing.T) {
+	c := MustNew(CKI, smpOpts(CKI, 2))
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	c.InjectFaults(faults.NewPlan(1, faults.Rule{Site: faults.IPILost, Every: 1}))
+	if err := k.MunmapCall(addr, mem.PageSize); err != nil {
+		t.Fatalf("munmap: %v", err)
+	}
+	e := c.SMPEngine()
+	if e.Stats.HungInitiators == 0 {
+		t.Fatal("all-lost IPI stream did not hang the initiator")
+	}
+	if k.VIC.Enabled() {
+		t.Error("hung initiator left virtual-IF enabled")
+	}
+	if got, want := k.VIC.Pending(), DefaultRestartPolicy().HangTicks; got < want {
+		t.Errorf("pending ticks = %d, want >= HangTicks (%d)", got, want)
+	}
+}
+
+// TestSupervisorRestartFlushesDeadPCIDs: satellite 2 — the restart path
+// must scrub the dead container's PCID group from every TLB so the
+// replacement cannot hit a corpse's translations.
+func TestSupervisorRestartFlushesDeadPCIDs(t *testing.T) {
+	cl, err := NewCluster(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.Add(CKI, Options{SegmentFrames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.K.ContainerID
+	// Warm translations tagged with the container's PCID group.
+	addr, err := c.K.MmapCall(2*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.K.TouchRange(addr, 2*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	pred := func(pcid uint16) bool { return int(pcid>>8) == id }
+	if cl.M.MMU.TLB.CountIf(pred) == 0 {
+		t.Fatal("no warm TLB entries tagged with the container's PCID group")
+	}
+	cl.M.FlushContainerTLB(id)
+	if left := cl.M.MMU.TLB.CountIf(pred); left != 0 {
+		t.Errorf("%d stale entries survived FlushContainerTLB", left)
+	}
+}

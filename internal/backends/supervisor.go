@@ -243,6 +243,11 @@ func (s *Supervisor) tryRestart(i int) bool {
 	// KSM's, for CKI — before booting the replacement into them.
 	s.Cl.M.HostMem.FreeOwned(id)
 	s.Cl.M.HostMem.FreeOwned(cki.KSMOwner(id))
+	// Scrub the dead container's PCID group from every TLB: the frames
+	// just reclaimed will back the replacement's page tables, and a
+	// surviving translation tagged with a recycled PCID would resolve
+	// through the corpse's tables.
+	s.Cl.M.FlushContainerTLB(id)
 	c, err := NewOnMachine(s.Cl.M, old.Kind, old.Opts, id)
 	if err != nil {
 		// The machine is too degraded to reboot the container now;

@@ -24,6 +24,7 @@ func Extensions() []Experiment {
 		{"ext-density", "CKI container density (Challenge-1 at scale)", ExtDensity},
 		{"ext-preempt", "Timer-tick (preemption) tax per runtime", ExtPreempt},
 		{"chaos", "Fault-injection survival across runtimes (Fig. 2)", ExtChaos},
+		{"smp", "Multi-core scaling & TLB-shootdown latency (SMP engine)", ExtSMP},
 	}
 }
 

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/backends"
+	"repro/internal/clock"
+	"repro/internal/des"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// The SMP experiment: every runtime booted at 1/2/4/8 vCPUs on the
+// multi-vCPU engine, measuring (a) the end-to-end TLB-shootdown latency
+// its unmap path pays — the IPI send through the runtime's native or
+// KSM-mediated channel, the remote invalidation, the ack spin — and
+// (b) closed-loop throughput when every request retires one mapped
+// page, so shootdown cost is the contention term that bends each
+// runtime's scaling curve.
+
+// SMPSeed tags the committed BENCH_smp report; the experiment itself is
+// fault-free and deterministic by construction.
+const SMPSeed = 0x50c1a1
+
+// SMPVCPUCounts are the core counts each runtime is measured at.
+var SMPVCPUCounts = []int{1, 2, 4, 8}
+
+// SMPRow is one (runtime, vCPU count) measurement.
+type SMPRow struct {
+	Runtime     string  `json:"runtime"`
+	VCPUs       int     `json:"vcpus"`
+	ServiceNs   float64 `json:"service_ns"`
+	ShootdownNs float64 `json:"shootdown_latency_ns"`
+	Shootdowns  uint64  `json:"shootdowns"`
+	IPIsSent    uint64  `json:"ipis_sent"`
+	Throughput  float64 `json:"throughput_ops_per_sec"`
+	Speedup     float64 `json:"speedup_vs_1vcpu"`
+}
+
+// SMPReport is the whole experiment (the -json output).
+type SMPReport struct {
+	Seed   uint64   `json:"seed"`
+	Rounds int      `json:"rounds"`
+	Rows   []SMPRow `json:"rows"`
+}
+
+// smpRequest is one closed-loop request: map a page, touch it, retire
+// it. The munmap of the resident page is what forces a shootdown on a
+// multi-vCPU container.
+func smpRequest(k *guest.Kernel) error {
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		return err
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Write); err != nil {
+		return err
+	}
+	if err := k.MunmapCall(addr, mem.PageSize); err != nil {
+		return err
+	}
+	k.Compute(clock.FromNanos(800))
+	return nil
+}
+
+// RunSMP executes the SMP experiment. Deterministic: same scale, same
+// report, byte for byte.
+func RunSMP(scale int, seed uint64) (*SMPReport, error) {
+	specs := []struct {
+		kind backends.Kind
+		opts backends.Options
+	}{
+		{backends.RunC, backends.Options{}},
+		{backends.HVM, backends.Options{GuestFrames: 1 << 13}},
+		{backends.PVM, backends.Options{GuestFrames: 1 << 13}},
+		{backends.CKI, backends.Options{}},
+		{backends.GVisor, backends.Options{}},
+	}
+	rounds := 8 * scale
+	rep := &SMPReport{Seed: seed, Rounds: rounds}
+	for _, s := range specs {
+		var service clock.Time
+		var tput1 float64
+		for _, n := range SMPVCPUCounts {
+			opts := s.opts
+			opts.NumVCPU = n
+			c, err := backends.New(s.kind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("smp: boot %v x%d: %w", s.kind, n, err)
+			}
+			// Warm the allocator and page tables off the clock reading.
+			for i := 0; i < 4; i++ {
+				if err := smpRequest(c.K); err != nil {
+					return nil, err
+				}
+			}
+			if n == 1 {
+				// Base per-request service time, free of shootdowns.
+				start := c.Clk.Now()
+				const m = 16
+				for i := 0; i < m; i++ {
+					if err := smpRequest(c.K); err != nil {
+						return nil, err
+					}
+				}
+				service = (c.Clk.Now() - start) / m
+			}
+			// Drive the container across all its vCPUs so every unmap
+			// broadcasts to warm sibling TLBs.
+			for r := 0; r < rounds; r++ {
+				for v := 0; v < n; v++ {
+					if err := c.MigrateVCPU(v); err != nil {
+						return nil, err
+					}
+					if err := smpRequest(c.K); err != nil {
+						return nil, err
+					}
+				}
+			}
+			row := SMPRow{
+				Runtime:   c.Name,
+				VCPUs:     n,
+				ServiceNs: float64(service) / float64(clock.Nanosecond),
+			}
+			var shoot clock.Time
+			if e := c.SMPEngine(); e != nil && n > 1 {
+				shoot = e.Stats.MeanShootdown()
+				row.ShootdownNs = float64(shoot) / float64(clock.Nanosecond)
+				row.Shootdowns = e.Stats.Shootdowns
+				row.IPIsSent = e.Stats.IPIsSent
+			}
+			// Closed-loop throughput: one shootdown per retired request
+			// (each unmaps one resident page); siblings lose roughly the
+			// remote handler's share of the measured latency.
+			sl := des.SMPLoop{
+				Clients: 4 * n,
+				VCPUs:   n,
+				RTT:     20 * clock.Microsecond,
+				Service: func(int) clock.Time { return service },
+				Horizon: clock.Time(scale) * 20 * clock.Millisecond,
+			}
+			if n > 1 {
+				sl.ShootdownEvery = 1
+				sl.ShootdownStall = shoot
+				sl.RemoteStall = shoot / 2
+			}
+			ops, _, _ := sl.Throughput()
+			row.Throughput = ops
+			if n == 1 {
+				tput1 = ops
+			}
+			if tput1 > 0 {
+				row.Speedup = ops / tput1
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// ExtSMP renders the SMP scaling report as a table.
+func ExtSMP(scale int, w io.Writer) error {
+	rep, err := RunSMP(scale, SMPSeed)
+	if err != nil {
+		return err
+	}
+	t := NewTable("Multi-core scaling and TLB-shootdown latency (SMP engine)",
+		"runtime", "vCPUs", "service/req", "shootdown", "throughput (op/s)", "speedup")
+	for _, r := range rep.Rows {
+		shoot := "-"
+		if r.VCPUs > 1 {
+			shoot = fmt.Sprintf("%.0fns", r.ShootdownNs)
+		}
+		t.Row(r.Runtime, itoa(r.VCPUs), fmt.Sprintf("%.0fns", r.ServiceNs), shoot,
+			fmt.Sprintf("%.0f", r.Throughput), fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	t.Note("every request retires one mapped page, so each one broadcasts a shootdown;")
+	t.Note("CKI's KSM-mediated IPI (one gate hypercall) stays near RunC's native cost,")
+	t.Note("while HVM pays a VM exit per IPI leg and flattens first")
+	_, err = t.WriteTo(w)
+	return err
+}
+
+// SMPJSON runs the SMP experiment and writes the report as indented
+// JSON (the committed BENCH_smp artifact).
+func SMPJSON(scale int, w io.Writer) error {
+	rep, err := RunSMP(scale, SMPSeed)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSMPDeterministic: the whole SMP experiment — five runtimes, four
+// vCPU counts, migrations, shootdowns, closed-loop throughput — replays
+// byte-identically from the same seed.
+func TestSMPDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		if err := SMPJSON(1, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("smp report not deterministic:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestSMPReportShape: every (runtime, vCPU-count) cell is present, the
+// multi-vCPU cells actually shot down TLBs, and scaling behaves — more
+// vCPUs never hurt RunC, and every runtime's 1-vCPU speedup is 1.
+func TestSMPReportShape(t *testing.T) {
+	rep, err := RunSMP(1, SMPSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * len(SMPVCPUCounts); len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), want)
+	}
+	for _, r := range rep.Rows {
+		if r.Throughput <= 0 {
+			t.Errorf("%s @%d vCPUs: throughput %v", r.Runtime, r.VCPUs, r.Throughput)
+		}
+		if r.VCPUs == 1 {
+			if r.Speedup != 1 {
+				t.Errorf("%s: 1-vCPU speedup = %v, want 1", r.Runtime, r.Speedup)
+			}
+			if r.Shootdowns != 0 {
+				t.Errorf("%s: %d shootdowns on one vCPU", r.Runtime, r.Shootdowns)
+			}
+			continue
+		}
+		if r.Shootdowns == 0 || r.IPIsSent == 0 {
+			t.Errorf("%s @%d vCPUs: no shootdown traffic (%d/%d)",
+				r.Runtime, r.VCPUs, r.Shootdowns, r.IPIsSent)
+		}
+		if r.ShootdownNs <= 0 {
+			t.Errorf("%s @%d vCPUs: shootdown latency %v", r.Runtime, r.VCPUs, r.ShootdownNs)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ExtSMP(1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RunC", "HVM-BM", "PVM-BM", "CKI-BM", "gVisor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smp table missing %q", want)
+		}
+	}
+}
+
+// TestSMPJSONSchema: the emitted report parses back and carries the
+// fields the CI smoke job validates.
+func TestSMPJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SMPJSON(1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Seed uint64           `json:"seed"`
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(rep.Rows) != 5*len(SMPVCPUCounts) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for _, key := range []string{"runtime", "vcpus", "throughput_ops_per_sec",
+			"shootdown_latency_ns", "speedup_vs_1vcpu"} {
+			if _, ok := row[key]; !ok {
+				t.Errorf("row missing %q: %v", key, row)
+			}
+		}
+	}
+}

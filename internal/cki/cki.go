@@ -98,6 +98,9 @@ type Stats struct {
 	Hypercalls  uint64
 	IRQs        uint64
 	ADPropagate uint64
+	// CopyRefreshes counts per-vCPU top-PTP copy re-syncs performed by
+	// the KSM-mediated TLB-shootdown handler.
+	CopyRefreshes uint64
 }
 
 // ptpDesc is the KSM's per-PTP descriptor (§4.3).

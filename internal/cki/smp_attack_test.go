@@ -1,0 +1,169 @@
+package cki_test
+
+// SMP-facing security and calibration tests for CKI, driven through a
+// real booted container (external test package so we can use the
+// backends assembly without an import cycle).
+//
+//   - the cross-vCPU unmap attack: a PTE downgrade on one vCPU must be
+//     observable — as a fault — on every sibling, including through the
+//     sibling's private top-level PTP copy;
+//   - IPI forgery: a deprivileged guest kernel can neither write the
+//     ICR nor jump into the KSM's IPI gate;
+//   - the per-shootdown cost must match the calibrated flow the SMP
+//     model composes (hypercall gate + extended remote delivery).
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/cki"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func smpCKI(t *testing.T) *backends.Container {
+	t.Helper()
+	c, err := backends.New(backends.CKI, backends.Options{NumVCPU: 2})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	return c
+}
+
+// TestCrossVCPUUnmapStaleReadFaults is the attack the shootdown exists
+// to stop: warm a translation on vCPU 1, munmap the page on vCPU 0, and
+// try to read it again from vCPU 1. Without the KSM-mediated shootdown
+// the sibling's PCID-tagged TLB entry (and its stale per-vCPU top copy)
+// would satisfy the read from a freed, possibly reassigned frame.
+func TestCrossVCPUUnmapStaleReadFaults(t *testing.T) {
+	c := smpCKI(t)
+	ksm, _, _, ok := c.CKIInternals()
+	if !ok {
+		t.Fatal("no CKI internals on a CKI container")
+	}
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatalf("mmap: %v", err)
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Write); err != nil {
+		t.Fatalf("touch on vCPU 0: %v", err)
+	}
+	if err := c.MigrateVCPU(1); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Read); err != nil {
+		t.Fatalf("touch on vCPU 1: %v", err)
+	}
+	if err := c.MigrateVCPU(0); err != nil {
+		t.Fatalf("migrate back: %v", err)
+	}
+	refreshes := ksm.Stats.CopyRefreshes
+	if err := k.MunmapCall(addr, mem.PageSize); err != nil {
+		t.Fatalf("munmap: %v", err)
+	}
+	if ksm.Stats.CopyRefreshes == refreshes {
+		t.Error("shootdown did not refresh the sibling's top-level PTP copy")
+	}
+	if err := c.MigrateVCPU(1); err != nil {
+		t.Fatalf("migrate to victim: %v", err)
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Read); err == nil {
+		t.Fatal("stale read on vCPU 1 succeeded after cross-vCPU unmap")
+	}
+}
+
+// TestForgedGuestIPIRejected: §4.4 — an IPI can only enter a CKI vCPU
+// through the host's validated HcSendIPI fan-out. Both guest-side
+// forgery channels must fail closed.
+func TestForgedGuestIPIRejected(t *testing.T) {
+	c := smpCKI(t)
+	_, _, sw, _ := c.CKIInternals()
+	e := c.SMPEngine()
+	if e == nil {
+		t.Fatal("no SMP engine")
+	}
+
+	// Channel 1: jump straight to the KSM's IPI gate entry. PKRS is
+	// still PKRSGuest because no hardware delivery cleared it, so the
+	// gate body's first per-vCPU access faults.
+	mode := c.CPU.Mode()
+	c.CPU.SetMode(hw.ModeKernel)
+	if got := c.CPU.PKRS(); got != cki.PKRSGuest {
+		t.Fatalf("guest kernel PKRS = %v, want PKRSGuest", got)
+	}
+	if err := sw.ForgeInterrupt(hw.VectorIPI); !errors.Is(err, cki.ErrInterruptForgery) {
+		t.Errorf("ForgeInterrupt(VectorIPI) = %v, want ErrInterruptForgery", err)
+	}
+
+	// Channel 2: write the ICR directly. The ICR is an MSR in x2APIC
+	// mode and wrmsr is PKS-blocked for the deprivileged guest kernel.
+	if f := c.CPU.WriteICR(1, hw.VectorIPI); f == nil {
+		t.Error("guest-kernel WriteICR did not fault under PKS")
+	} else if f.Kind != hw.FaultPKSBlocked {
+		t.Errorf("WriteICR fault = %v, want FaultPKSBlocked", f.Kind)
+	}
+	c.CPU.SetMode(mode)
+
+	// Neither channel may have posted anything to the sibling.
+	if e.VCPUs[1].IPI.TakeVector(hw.VectorIPI) {
+		t.Error("a forged IPI reached the sibling vCPU's queue")
+	}
+}
+
+// TestCKIShootdownCostMatchesCalibratedFlow: the acceptance bound — a
+// CKI shootdown observed end to end must stay within ±10% of the
+// calibrated composition: one HcSendIPI world switch (measured live)
+// plus the extended remote delivery plus the initiator's ack poll.
+func TestCKIShootdownCostMatchesCalibratedFlow(t *testing.T) {
+	c := smpCKI(t)
+	_, _, sw, _ := c.CKIInternals()
+	e := c.SMPEngine()
+	costs := c.Costs
+
+	// Calibrate the send leg: a bare HcSendIPI through the switcher,
+	// with the posted vector drained so it cannot leak into the
+	// measured shootdown below.
+	mode := c.CPU.Mode()
+	c.CPU.SetMode(hw.ModeKernel)
+	start := c.Clk.Now()
+	if _, err := sw.Hypercall(host.HcSendIPI, 1<<1, uint64(hw.VectorIPI)); err != nil {
+		t.Fatalf("calibration hypercall: %v", err)
+	}
+	hcCost := c.Clk.Now() - start
+	c.CPU.SetMode(mode)
+	if !e.VCPUs[1].IPI.TakeVector(hw.VectorIPI) {
+		t.Fatal("calibration HcSendIPI did not post to vCPU 1")
+	}
+
+	expected := hcCost + costs.InterruptDeliver + costs.Invlpg +
+		costs.KSMPTEVerify + costs.IPIAck + costs.Iret + costs.ShootdownPoll
+
+	// Measure one real munmap-triggered shootdown.
+	k := c.K
+	addr, err := k.MmapCall(mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatalf("mmap: %v", err)
+	}
+	if err := k.TouchRange(addr, mem.PageSize, mmu.Write); err != nil {
+		t.Fatalf("touch: %v", err)
+	}
+	before := e.Stats
+	if err := k.MunmapCall(addr, mem.PageSize); err != nil {
+		t.Fatalf("munmap: %v", err)
+	}
+	if e.Stats.Shootdowns != before.Shootdowns+1 {
+		t.Fatalf("shootdowns = %d, want %d", e.Stats.Shootdowns, before.Shootdowns+1)
+	}
+	actual := e.Stats.TotalLatency - before.TotalLatency
+
+	lo, hi := expected-expected/10, expected+expected/10
+	if actual < lo || actual > hi {
+		t.Errorf("per-shootdown cost %v outside ±10%% of calibrated flow %v [%v, %v]",
+			actual, expected, lo, hi)
+	}
+}

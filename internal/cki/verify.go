@@ -268,6 +268,41 @@ func (k *KSM) ReadTopEntry(top mem.PFN, idx int) (pagetable.PTE, error) {
 	return e, nil
 }
 
+// RefreshTopCopy re-synchronizes one vCPU's copy of a declared
+// top-level PTP from the master, preserving the copy's accessed/dirty
+// bits and the two reserved KSM slots. The mediated WritePTE keeps the
+// copies coherent on every update, but a remote vCPU servicing a
+// KSM-mediated TLB shootdown re-verifies its copy anyway (§4.3): a lost
+// propagation — or a bit flip in the copy — would otherwise leave that
+// vCPU translating through a stale top level long after the master was
+// downgraded. Returns how many slots had to be rewritten (0 when the
+// copy was already coherent).
+func (k *KSM) RefreshTopCopy(top mem.PFN, vcpu int) (int, error) {
+	if vcpu < 0 || vcpu >= k.NumVCPU {
+		return 0, ErrWrongVCPU
+	}
+	desc, ok := k.ptps[top]
+	if !ok || desc.level != pagetable.LevelPML4 {
+		return 0, ErrNotTopLevel
+	}
+	const ad = pagetable.FlagAccessed | pagetable.FlagDirty
+	c := k.copies[top][vcpu]
+	fixed := 0
+	for i := 0; i < mem.WordsPerPage; i++ {
+		if i == KSMPML4Slot || i == PerVCPUPML4Slot {
+			continue
+		}
+		want := pagetable.ReadEntry(k.Mem, top, i)
+		got := pagetable.ReadEntry(k.Mem, c, i)
+		if got&^ad != want&^ad {
+			pagetable.WriteEntry(k.Mem, c, i, want|got&ad)
+			fixed++
+		}
+	}
+	k.Stats.CopyRefreshes++
+	return fixed, nil
+}
+
 // Retire tears down a PTP. For a top-level PTP it recursively clears and
 // undeclares the whole tree (children first) and releases the per-vCPU
 // copies; retiring an already-retired page is a no-op so address-space

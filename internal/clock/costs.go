@@ -177,6 +177,30 @@ type Costs struct {
 	// InterruptDeliver is hardware interrupt delivery (IDT vectoring,
 	// IST stack switch, frame push).
 	InterruptDeliver Time
+
+	// --- SMP / TLB shootdown ----------------------------------------------
+
+	// IPISend is one ICR write posting an IPI to a single target core
+	// (APIC register write + interconnect message).
+	IPISend Time
+	// IPIAck is the remote core's write into the shared ack mask after
+	// servicing a shootdown IPI.
+	IPIAck Time
+	// ShootdownPoll is one iteration of the initiator's spin on the ack
+	// mask (cacheline re-read + pause).
+	ShootdownPoll Time
+	// ShootdownTimeout is how long an initiator waits on missing acks
+	// before re-sending the IPI (the lost-IPI recovery path).
+	ShootdownTimeout Time
+	// ShootdownAckDelay is the extra remote-side latency when the target
+	// core has interrupts masked or is mid-exit (the delayed-ack fault).
+	ShootdownAckDelay Time
+	// VMCSReload is loading another vCPU's VMCS on a physical core
+	// (vmptrld + state reload), paid by HVM vCPU migration.
+	VMCSReload Time
+	// MigrationTLBRefill amortizes the cold-TLB refill burst a migrated
+	// vCPU pays on its new core.
+	MigrationTLBRefill Time
 	// IRQHostWork is the host kernel's generic IRQ bookkeeping.
 	IRQHostWork Time
 	// VirtqueuePush/VirtqueuePop are ring-descriptor operations.
@@ -258,9 +282,18 @@ func DefaultCosts() *Costs {
 
 		MemRef:           ns(2),
 		InterruptDeliver: ns(60),
-		IRQHostWork:      ns(350),
-		VirtqueuePush:    ns(40),
-		VirtqueuePop:     ns(40),
+
+		IPISend:            ns(95),
+		IPIAck:             ns(40),
+		ShootdownPoll:      ns(25),
+		ShootdownTimeout:   ns(10000),
+		ShootdownAckDelay:  ns(2500),
+		VMCSReload:         ns(640),
+		MigrationTLBRefill: ns(900),
+
+		IRQHostWork:   ns(350),
+		VirtqueuePush: ns(40),
+		VirtqueuePop:  ns(40),
 
 		MmapFileExtraRunC:   ns(0),
 		MmapFileExtraHVMBM:  ns(1090),

@@ -147,3 +147,101 @@ func (cl ClosedLoop) Throughput() (opsPerSec float64, meanLatency clock.Time) {
 	}
 	return float64(completed) / cl.Horizon.Seconds(), totalLat / clock.Time(completed)
 }
+
+// SMPLoop is the multi-vCPU variant of ClosedLoop: the server spreads
+// requests over VCPUs cores, and every completed request triggers TLB
+// maintenance with probability 1/ShootdownEvery — the initiating vCPU
+// stalls for ShootdownStall while every sibling loses RemoteStall to
+// the flush-IPI handler. That contention term is what bends the
+// scaling curve as the vCPU count grows: runtimes with expensive
+// shootdowns flatten out first.
+type SMPLoop struct {
+	// Clients each keep one request outstanding.
+	Clients int
+	// VCPUs is the server's core count; each core serves one request at
+	// a time.
+	VCPUs int
+	// RTT is the client↔server round trip plus think time.
+	RTT clock.Time
+	// Service maps backlog depth to per-request service time.
+	Service ServiceModel
+	// ShootdownEvery triggers one TLB shootdown every this many
+	// completions (0 disables — the pure scaling baseline).
+	ShootdownEvery int
+	// ShootdownStall is the initiator-side latency per shootdown;
+	// RemoteStall is what each sibling core loses to the IPI handler.
+	ShootdownStall clock.Time
+	RemoteStall    clock.Time
+	// Horizon is the measured interval.
+	Horizon clock.Time
+}
+
+// Throughput runs the loop and returns completed requests per virtual
+// second, the mean response latency, and the shootdown count.
+func (sl SMPLoop) Throughput() (opsPerSec float64, meanLatency clock.Time, shootdowns int) {
+	s := &Sim{}
+	type req struct {
+		arrived clock.Time
+	}
+	nextFree := make([]clock.Time, sl.VCPUs)
+	var (
+		queue     []req
+		completed int
+		totalLat  clock.Time
+	)
+	var dispatch func(now clock.Time)
+	dispatch = func(now clock.Time) {
+		for len(queue) > 0 {
+			// Earliest-free core, lowest ID on ties (deterministic).
+			v := 0
+			for i := 1; i < len(nextFree); i++ {
+				if nextFree[i] < nextFree[v] {
+					v = i
+				}
+			}
+			r := queue[0]
+			queue = queue[1:]
+			start := now
+			if nextFree[v] > start {
+				start = nextFree[v]
+			}
+			st := sl.Service(len(queue) + 1)
+			done := start + st
+			nextFree[v] = done
+			core := v
+			s.At(done, func(now clock.Time) {
+				completed++
+				totalLat += now - r.arrived
+				if sl.ShootdownEvery > 0 && completed%sl.ShootdownEvery == 0 {
+					shootdowns++
+					nextFree[core] += sl.ShootdownStall
+					for i := range nextFree {
+						if i == core {
+							continue
+						}
+						if nextFree[i] < now {
+							nextFree[i] = now
+						}
+						nextFree[i] += sl.RemoteStall
+					}
+				}
+				s.After(sl.RTT, func(now clock.Time) {
+					queue = append(queue, req{arrived: now})
+					dispatch(now)
+				})
+			})
+		}
+	}
+	for i := 0; i < sl.Clients; i++ {
+		d := clock.Time(i) * clock.Microsecond / 8
+		s.After(d, func(now clock.Time) {
+			queue = append(queue, req{arrived: now})
+			dispatch(now)
+		})
+	}
+	s.Run(sl.Horizon)
+	if completed == 0 {
+		return 0, 0, shootdowns
+	}
+	return float64(completed) / sl.Horizon.Seconds(), totalLat / clock.Time(completed), shootdowns
+}

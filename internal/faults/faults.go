@@ -44,6 +44,12 @@ const (
 	StuckCLI Site = "stuck-cli"
 	// Hypercall fails a host hypercall with a transient error.
 	Hypercall Site = "hypercall"
+	// IPILost drops a TLB-shootdown IPI on its way to one target vCPU;
+	// the initiator spins until its timeout and re-sends.
+	IPILost Site = "ipi-lost"
+	// AckDelay stalls one remote vCPU's shootdown acknowledgement (the
+	// target has interrupts masked or is mid-VM-exit).
+	AckDelay Site = "ack-delay"
 )
 
 // Injector is the narrow interface consumers consult. Fire reports
@@ -109,6 +115,11 @@ func DefaultPlan(seed uint64) *Plan {
 		Rule{Site: PTEWrite, Nth: 5000, Every: 9000},
 		Rule{Site: DoubleFault, Nth: 2500, Every: 4800},
 		Rule{Site: StuckCLI, Nth: 6000, Every: 11000},
+		// SMP sites: single-vCPU containers never consult them, so the
+		// chaos report is unchanged; multi-vCPU workloads see occasional
+		// lost IPIs and slow acks on the shootdown path.
+		Rule{Site: IPILost, Every: 97},
+		Rule{Site: AckDelay, Prob: 0.02},
 	)
 }
 

@@ -122,6 +122,29 @@ type Stats struct {
 	// Panics counts transitions to the died state (0 or 1 per boot).
 	InjectedFaults uint64
 	Panics         uint64
+	// TLBShootdowns counts cross-vCPU invalidations this kernel emitted;
+	// VCPUMigrations counts vCPU moves of the container.
+	TLBShootdowns  uint64
+	VCPUMigrations uint64
+}
+
+// ShootdownEmitter is the optional Paravirt upgrade a multi-vCPU
+// backend implements: after the local FlushPage of a PTE downgrade, the
+// kernel calls EmitShootdown so the runtime invalidates the stale
+// translation on every sibling vCPU (the IPI protocol of internal/smp).
+// Single-vCPU backends and test fakes simply don't implement it.
+type ShootdownEmitter interface {
+	EmitShootdown(k *Kernel, as *AddrSpace, va uint64)
+}
+
+// remoteFlush propagates a PTE downgrade to sibling vCPUs, if the
+// runtime spans any.
+func (k *Kernel) remoteFlush(as *AddrSpace, va uint64) {
+	// The emitter bumps Stats.TLBShootdowns when a shootdown actually
+	// runs (it no-ops on a single-vCPU container).
+	if e, ok := k.PV.(ShootdownEmitter); ok {
+		e.EmitShootdown(k, as, va)
+	}
 }
 
 // Kernel is one container guest kernel instance bound to one vCPU.
@@ -202,6 +225,9 @@ type Proc struct {
 	// Exited marks a zombie awaiting wait().
 	Exited   bool
 	ExitCode int
+	// Affinity pins the process to one vCPU; -1 lets the SMP scheduler
+	// place it on the least-loaded vCPU.
+	Affinity int
 	// segv is the registered user fault handler (sigaction SIGSEGV).
 	segv SegvHandler
 }

@@ -224,6 +224,7 @@ func (k *Kernel) unmapResident(as *AddrSpace, v *VMA) error {
 			return err
 		}
 		k.PV.FlushPage(k, as, va)
+		k.remoteFlush(as, va)
 		delete(as.mapped, va)
 		if !v.Huge { // huge backing segments stay with the container
 			if k.cowRelease(pfn) {
@@ -267,6 +268,7 @@ func (k *Kernel) Mprotect(p *Proc, addr, length uint64, prot Prot) error {
 				return err
 			}
 			k.PV.FlushPage(k, p.AS, va)
+			k.remoteFlush(p.AS, va)
 		}
 	}
 	if !found {

@@ -17,14 +17,31 @@ import (
 
 // scheduling body costs.
 var (
-	sysBodyFork   = clock.FromNanos(9000)
-	sysBodyExecve = clock.FromNanos(21000)
-	sysBodyExit   = clock.FromNanos(2600)
-	sysBodyWait   = clock.FromNanos(150)
-	sysBodyYield  = clock.FromNanos(80)
-	costSchedPick = clock.FromNanos(150)
-	costRegsSave  = clock.FromNanos(60)
+	sysBodyFork     = clock.FromNanos(9000)
+	sysBodyExecve   = clock.FromNanos(21000)
+	sysBodyExit     = clock.FromNanos(2600)
+	sysBodyWait     = clock.FromNanos(150)
+	sysBodyYield    = clock.FromNanos(80)
+	sysBodyAffinity = clock.FromNanos(120)
+	costSchedPick   = clock.FromNanos(150)
+	costRegsSave    = clock.FromNanos(60)
 )
+
+// SetAffinity pins a process to one vCPU (sched_setaffinity with a
+// single-bit mask); -1 restores least-loaded placement. The SMP
+// scheduler consults it when distributing work across vCPUs.
+func (k *Kernel) SetAffinity(pid, vcpu int) error {
+	k.charge(sysBodyAffinity)
+	p := k.procs[pid]
+	if p == nil {
+		return ECHILD
+	}
+	if vcpu < -1 {
+		return EINVAL
+	}
+	p.Affinity = vcpu
+	return nil
+}
 
 // StartInit creates and activates PID 1 with an empty address space.
 func (k *Kernel) StartInit() (*Proc, error) {
@@ -45,12 +62,13 @@ func (k *Kernel) newProc(parent int) (*Proc, error) {
 		return nil, err
 	}
 	p := &Proc{
-		PID:    k.nextPID,
-		Parent: parent,
-		AS:     as,
-		fds:    make(map[int]*File),
-		nextFD: 3,
-		brk:    UserBrkBase,
+		PID:      k.nextPID,
+		Parent:   parent,
+		AS:       as,
+		fds:      make(map[int]*File),
+		nextFD:   3,
+		brk:      UserBrkBase,
+		Affinity: -1,
 	}
 	k.nextPID++
 	k.procs[p.PID] = p

@@ -42,6 +42,11 @@ type Kernel struct {
 	// ErrHypercallFault (faults.Hypercall).
 	Inj faults.Injector
 
+	// IPISink, when non-nil, receives every per-target IPI of an
+	// HcSendIPI fan-out (the SMP engine installs it to post VectorIPI
+	// into the target vCPU's pending queue).
+	IPISink func(target, vector int)
+
 	Stats Stats
 }
 
@@ -124,6 +129,23 @@ func (k *Kernel) Hypercall(clk *clock.Clock, nr int, args ...uint64) (uint64, er
 		k.Stats.TimerSets++
 		return 0, nil
 	case HcSendIPI:
+		// args convention: (targetMask, vector). The host validates and
+		// fans the IPI out core by core, charging the APIC programming
+		// per target; legacy single-target callers pass no args.
+		if len(args) >= 2 && args[0] != 0 {
+			mask, vector := args[0], int(args[1])
+			for t := 0; mask != 0; t, mask = t+1, mask>>1 {
+				if mask&1 == 0 {
+					continue
+				}
+				clk.Advance(bodyIPI)
+				k.Stats.IPIs++
+				if k.IPISink != nil {
+					k.IPISink(t, vector)
+				}
+			}
+			return 0, nil
+		}
 		clk.Advance(bodyIPI)
 		k.Stats.IPIs++
 		return 0, nil

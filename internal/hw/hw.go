@@ -152,6 +152,7 @@ type CPU struct {
 
 	idt      *IDT
 	tlbHooks TLBHooks
+	ipiHook  IPIFn
 
 	msr map[uint32]uint64
 

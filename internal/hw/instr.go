@@ -145,6 +145,31 @@ func (c *CPU) Invpcid(pcid uint16) *Fault {
 	return nil
 }
 
+// --- inter-processor interrupts ----------------------------------------------
+
+// IPIFn is installed by the SMP engine so an ICR write reaches the
+// target vCPU's interrupt controller.
+type IPIFn func(target, vector int)
+
+// SetIPIHook installs the IPI-delivery callback.
+func (c *CPU) SetIPIHook(fn IPIFn) { c.ipiHook = fn }
+
+// WriteICR posts an inter-processor interrupt by writing the local
+// APIC's interrupt command register. Blocked under PKS — the ICR is an
+// MSR in x2APIC mode, and an unmediated guest IPI could forge shootdown
+// or reschedule interrupts into other containers' vCPUs. CKI guests use
+// the HcSendIPI hypercall instead (§4.4); the KSM/host fans the IPI out
+// after validating the target mask.
+func (c *CPU) WriteICR(target, vector int) *Fault {
+	if f := c.checkPriv("wrmsr(icr)", true); f != nil {
+		return f
+	}
+	if c.ipiHook != nil {
+		c.ipiHook(target, vector)
+	}
+	return nil
+}
+
 // --- syscall / exception plumbing -------------------------------------------
 
 // Swapgs exchanges GSBase and KernelGS. It stays executable in guest

@@ -52,6 +52,22 @@ func (c *Controller) Post(vector int) {
 // Pending reports queued, undelivered interrupts.
 func (c *Controller) Pending() int { return len(c.pending) }
 
+// TakeVector removes the first queued instance of vector, reporting
+// whether one was pending. The SMP engine uses it to consume a posted
+// shootdown IPI on the target vCPU without disturbing other vectors
+// (hardware delivers an IPI directly; it never waits behind the
+// virtio/timer queue discipline).
+func (c *Controller) TakeVector(vector int) bool {
+	for i, v := range c.pending {
+		if v == vector {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.Stats.Delivered++
+			return true
+		}
+	}
+	return false
+}
+
 // Drain delivers every pending interrupt through deliver while the
 // virtual-IF bit is set; with it clear, the interrupts stay queued
 // (deferred) exactly as the host would hold them until guest resume.

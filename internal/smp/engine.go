@@ -1,0 +1,294 @@
+// Package smp is the deterministic multi-vCPU execution engine. Each
+// vCPU is one hw.CPU with its own PCID-tagged TLB (an mmu.Unit over the
+// shared physical memory) and its own pending-IPI queue; a per-vCPU
+// runqueue scheduler (sched.go) places guest processes.
+//
+// The engine's centerpiece is the TLB-shootdown protocol every mediated
+// PTE downgrade must run on a multi-vCPU container: the initiator posts
+// VectorIPI to every sibling vCPU, each remote invalidates the stale
+// translation (invlpg / invpcid) and writes the shared ack mask, and the
+// initiator spins — with clock-accounted wait — until the mask is full.
+// Under CKI the IPI is KSM-mediated (HcSendIPI through the switcher; a
+// guest writing the ICR directly faults) and the remote handler also
+// refreshes that vCPU's top-level PTP copy; RunC/HVM/PVM pay their
+// native broadcast costs. Runtimes parameterize those differences
+// through ShootdownSpec.
+//
+// Everything runs on one goroutine against the shared virtual clock:
+// "parallelism" is modelled by charging the initiator the maximum of the
+// remote latencies, exactly as a spinning initiator experiences it.
+package smp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/interrupt"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// MaxSendAttempts bounds the lost-IPI recovery loop: after this many
+// timed-out re-sends the initiator is declared hung (the supervisor's
+// watchdog then reaps it).
+const MaxSendAttempts = 3
+
+// ErrShootdownHung reports an initiator that never collected all acks.
+var ErrShootdownHung = errors.New("smp: shootdown initiator hung waiting for acks")
+
+// VCPUStats counts per-vCPU events.
+type VCPUStats struct {
+	// ShootdownIPIs is how many shootdown IPIs this vCPU serviced.
+	ShootdownIPIs uint64
+	// AcksSent counts ack-mask writes (== serviced IPIs unless hung).
+	AcksSent uint64
+	// MigrationsIn counts container migrations onto this vCPU.
+	MigrationsIn uint64
+	// Scheduled counts tasks the scheduler placed on this vCPU.
+	Scheduled uint64
+}
+
+// VCPU is one virtual CPU of the engine: private register state,
+// private TLB, private pending-interrupt queue.
+type VCPU struct {
+	ID  int
+	CPU *hw.CPU
+	MMU *mmu.Unit
+	// IPI is the vCPU's pending-IPI queue (posted, not yet serviced).
+	IPI   *interrupt.Controller
+	Stats VCPUStats
+}
+
+// Stats counts engine-wide shootdown events.
+type Stats struct {
+	Shootdowns     uint64
+	IPIsSent       uint64
+	LostIPIs       uint64
+	DelayedAcks    uint64
+	Resends        uint64
+	HungInitiators uint64
+	// TotalLatency accumulates end-to-end shootdown time (initiator
+	// perspective), so TotalLatency/Shootdowns is the mean.
+	TotalLatency clock.Time
+}
+
+// MeanShootdown returns the mean end-to-end shootdown latency.
+func (s *Stats) MeanShootdown() clock.Time {
+	if s.Shootdowns == 0 {
+		return 0
+	}
+	return s.TotalLatency / clock.Time(s.Shootdowns)
+}
+
+// Engine owns the machine's vCPUs. vCPU 0 wraps the CPU and MMU the
+// single-core machine already had, so single-vCPU behaviour (and every
+// existing experiment) is bit-identical with the engine attached.
+type Engine struct {
+	Clk   *clock.Clock
+	Costs *clock.Costs
+	VCPUs []*VCPU
+	Sched *Scheduler
+	Stats Stats
+}
+
+// New builds an engine with n vCPUs over the shared physical memory.
+// cpu0/mmu0 become vCPU 0; the remaining vCPUs get fresh CPUs (same PKS
+// extension setting) and private TLBs. Every vCPU's ICR is wired to the
+// engine so a WriteICR on any core posts into the target's queue.
+func New(clk *clock.Clock, costs *clock.Costs, m *mem.PhysMem, cpu0 *hw.CPU, mmu0 *mmu.Unit, n int) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("smp: need at least 1 vCPU, got %d", n)
+	}
+	e := &Engine{Clk: clk, Costs: costs, Sched: NewScheduler(n)}
+	for i := 0; i < n; i++ {
+		cpu, unit := cpu0, mmu0
+		if i > 0 {
+			cpu = hw.NewCPU(i, cpu0.PKSExt)
+			unit = mmu.New(m, costs)
+			cpu.SetTLBHooks(unit.Hooks())
+		}
+		cpu.SetIPIHook(e.Post)
+		e.VCPUs = append(e.VCPUs, &VCPU{ID: i, CPU: cpu, MMU: unit, IPI: interrupt.New()})
+	}
+	return e, nil
+}
+
+// NumVCPU returns the vCPU count.
+func (e *Engine) NumVCPU() int { return len(e.VCPUs) }
+
+// Post delivers an IPI into the target vCPU's pending queue. Costs are
+// the sender's business (ICR write or hypercall fan-out).
+func (e *Engine) Post(target, vector int) {
+	if target < 0 || target >= len(e.VCPUs) {
+		return
+	}
+	e.VCPUs[target].IPI.Post(vector)
+}
+
+// Others returns the vCPU IDs [0, n) excluding initiator — the target
+// set of a broadcast shootdown from a container spanning n vCPUs.
+func (e *Engine) Others(initiator, n int) []int {
+	if n > len(e.VCPUs) {
+		n = len(e.VCPUs)
+	}
+	ts := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i != initiator {
+			ts = append(ts, i)
+		}
+	}
+	return ts
+}
+
+// FlushAllTLBs scrubs every vCPU TLB of entries matching pred (see
+// tlb.FlushIf); the supervisor uses it when recycling a container.
+func (e *Engine) FlushAllTLBs(pred func(pcid uint16) bool) {
+	for _, v := range e.VCPUs {
+		v.MMU.TLB.FlushIf(pred)
+	}
+}
+
+// ShootdownSpec parameterizes one TLB shootdown with the initiating
+// runtime's native costs.
+type ShootdownSpec struct {
+	// Initiator is the sending vCPU; Targets the remotes to invalidate.
+	Initiator int
+	Targets   []int
+	// PCID/VA name the stale translation. All flushes the whole PCID
+	// (an invpcid-class shootdown) instead of one page.
+	PCID uint16
+	VA   uint64
+	All  bool
+	// Send posts the IPIs for the given targets and charges the
+	// runtime's native send cost (ICR writes, a VM exit per target, or
+	// one mediated HcSendIPI). nil means bare ICR writes by the
+	// initiating CPU at IPISend each.
+	Send func(targets []int) error
+	// RemoteCost is the target-side service latency (deliver,
+	// invalidate, ack, return). nil means the native interrupt flow:
+	// InterruptDeliver + Invlpg + IPIAck + Iret.
+	RemoteCost func(target int) clock.Time
+	// RemoteFlush, when non-nil, performs runtime-specific invalidation
+	// on the target beyond the engine-TLB flush (HVM's private vTLBs,
+	// CKI's per-vCPU top-PTP copy refresh).
+	RemoteFlush func(v *VCPU) error
+	// Inj, when non-nil, is consulted per target per attempt at the
+	// faults.IPILost and faults.AckDelay sites.
+	Inj faults.Injector
+}
+
+// Shootdown runs the protocol and returns the initiator-observed
+// latency. The flow per attempt: send to every unacked target, service
+// each delivered IPI (flush + ack), then spin until the slowest ack
+// lands. Lost IPIs are re-sent after ShootdownTimeout, at most
+// MaxSendAttempts times; a still-incomplete ack mask returns
+// ErrShootdownHung with the clock already charged — the caller decides
+// whether that wedges the guest for the watchdog.
+func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
+	start := e.Clk.Now()
+	unacked := make([]int, 0, len(spec.Targets))
+	for _, t := range spec.Targets {
+		if t >= 0 && t < len(e.VCPUs) && t != spec.Initiator {
+			unacked = append(unacked, t)
+		}
+	}
+	for attempt := 0; len(unacked) > 0 && attempt < MaxSendAttempts; attempt++ {
+		if attempt > 0 {
+			// The ack mask is still short: the initiator's spin loop hits
+			// its timeout and re-sends to the silent targets.
+			e.Clk.Advance(e.Costs.ShootdownTimeout)
+			e.Stats.Resends++
+		}
+		if spec.Send != nil {
+			if err := spec.Send(unacked); err != nil {
+				return e.finish(start, unacked)
+			}
+		} else {
+			for range unacked {
+				e.Clk.Advance(e.Costs.IPISend)
+			}
+			for _, t := range unacked {
+				e.Post(t, hw.VectorIPI)
+			}
+		}
+		e.Stats.IPIsSent += uint64(len(unacked))
+
+		var maxLat clock.Time
+		still := unacked[:0]
+		for _, t := range unacked {
+			v := e.VCPUs[t]
+			if spec.Inj != nil && spec.Inj.Fire(faults.IPILost) {
+				// The IPI is lost in flight: consume the posted vector (if
+				// the send path managed to post one) without servicing it.
+				v.IPI.TakeVector(hw.VectorIPI)
+				e.Stats.LostIPIs++
+				still = append(still, t)
+				continue
+			}
+			if !v.IPI.TakeVector(hw.VectorIPI) {
+				// The send path itself failed to post (dropped hypercall).
+				e.Stats.LostIPIs++
+				still = append(still, t)
+				continue
+			}
+			if err := e.serviceRemote(v, spec); err != nil {
+				return e.finish(start, unacked)
+			}
+			lat := e.remoteCost(t, spec)
+			if spec.Inj != nil && spec.Inj.Fire(faults.AckDelay) {
+				lat += e.Costs.ShootdownAckDelay
+				e.Stats.DelayedAcks++
+			}
+			if lat > maxLat {
+				maxLat = lat
+			}
+		}
+		unacked = append([]int(nil), still...)
+		// The remotes ran concurrently; the spinning initiator waits for
+		// the slowest ack plus one final poll of the mask.
+		e.Clk.Advance(maxLat + e.Costs.ShootdownPoll)
+	}
+	return e.finish(start, unacked)
+}
+
+// serviceRemote performs the target-side invalidation: the engine-TLB
+// flush every runtime needs, plus the runtime's extra work.
+func (e *Engine) serviceRemote(v *VCPU, spec ShootdownSpec) error {
+	if spec.All {
+		v.MMU.TLB.FlushPCID(spec.PCID)
+	} else {
+		v.MMU.TLB.FlushPage(spec.PCID, spec.VA)
+	}
+	v.Stats.ShootdownIPIs++
+	v.Stats.AcksSent++
+	if spec.RemoteFlush != nil {
+		return spec.RemoteFlush(v)
+	}
+	return nil
+}
+
+func (e *Engine) remoteCost(target int, spec ShootdownSpec) clock.Time {
+	if spec.RemoteCost != nil {
+		return spec.RemoteCost(target)
+	}
+	c := e.Costs
+	inval := c.Invlpg
+	if spec.All {
+		inval = c.TLBFlush
+	}
+	return c.InterruptDeliver + inval + c.IPIAck + c.Iret
+}
+
+func (e *Engine) finish(start clock.Time, unacked []int) (clock.Time, error) {
+	e.Stats.Shootdowns++
+	lat := e.Clk.Now() - start
+	e.Stats.TotalLatency += lat
+	if len(unacked) > 0 {
+		e.Stats.HungInitiators++
+		return lat, ErrShootdownHung
+	}
+	return lat, nil
+}

@@ -1,0 +1,80 @@
+package smp
+
+// Scheduler is a deterministic per-vCPU runqueue scheduler for guest
+// processes. Placement honors hard affinity when set, otherwise picks
+// the least-loaded vCPU (lowest ID on ties); an idle vCPU steals from
+// the longest queue. All choices are pure functions of queue state, so
+// two runs with the same arrival order schedule identically.
+type Scheduler struct {
+	runq [][]int // per-vCPU FIFO of PIDs
+}
+
+// AnyVCPU is the affinity wildcard: let the scheduler place the task.
+const AnyVCPU = -1
+
+// NewScheduler creates a scheduler for n vCPUs.
+func NewScheduler(n int) *Scheduler {
+	return &Scheduler{runq: make([][]int, n)}
+}
+
+// Place enqueues pid and returns the chosen vCPU. affinity pins the
+// task to one vCPU; AnyVCPU (or an out-of-range value) means
+// least-loaded placement.
+func (s *Scheduler) Place(pid, affinity int) int {
+	v := affinity
+	if v < 0 || v >= len(s.runq) {
+		v = 0
+		for i := 1; i < len(s.runq); i++ {
+			if len(s.runq[i]) < len(s.runq[v]) {
+				v = i
+			}
+		}
+	}
+	s.runq[v] = append(s.runq[v], pid)
+	return v
+}
+
+// Next pops the next PID for vcpu. An empty local queue steals the
+// head of the longest sibling queue (lowest ID on ties), modelling
+// work-stealing load balancing without timers.
+func (s *Scheduler) Next(vcpu int) (int, bool) {
+	if vcpu < 0 || vcpu >= len(s.runq) {
+		return 0, false
+	}
+	if q := s.runq[vcpu]; len(q) > 0 {
+		s.runq[vcpu] = q[1:]
+		return q[0], true
+	}
+	victim := -1
+	for i := range s.runq {
+		if i == vcpu || len(s.runq[i]) == 0 {
+			continue
+		}
+		if victim == -1 || len(s.runq[i]) > len(s.runq[victim]) {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return 0, false
+	}
+	q := s.runq[victim]
+	s.runq[victim] = q[1:]
+	return q[0], true
+}
+
+// Len reports the queue depth of one vCPU.
+func (s *Scheduler) Len(vcpu int) int {
+	if vcpu < 0 || vcpu >= len(s.runq) {
+		return 0
+	}
+	return len(s.runq[vcpu])
+}
+
+// Queued reports the total number of waiting tasks.
+func (s *Scheduler) Queued() int {
+	n := 0
+	for _, q := range s.runq {
+		n += len(q)
+	}
+	return n
+}

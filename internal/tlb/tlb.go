@@ -121,6 +121,30 @@ func (t *TLB) FlushPCID(pcid uint16) {
 	t.stats.Flushes++
 }
 
+// FlushIf invalidates every entry whose PCID satisfies pred. The
+// supervisor uses it to scrub all address spaces of one dead container
+// (a whole PCID group) without knowing how many ASIDs the guest minted.
+func (t *TLB) FlushIf(pred func(pcid uint16) bool) {
+	for k := range t.entries {
+		if pred(k.pcid) {
+			delete(t.entries, k)
+		}
+	}
+	t.stats.Flushes++
+}
+
+// CountIf reports how many live entries have a PCID satisfying pred
+// (tests verify PCID-group flushes with it).
+func (t *TLB) CountIf(pred func(pcid uint16) bool) int {
+	n := 0
+	for k := range t.entries {
+		if pred(k.pcid) {
+			n++
+		}
+	}
+	return n
+}
+
 // FlushAll invalidates everything, optionally keeping global entries.
 func (t *TLB) FlushAll(keepGlobal bool) {
 	for k, e := range t.entries {
