@@ -6,6 +6,13 @@
 //	ckibench -exp fig12      # run one experiment
 //	ckibench -scale 4        # larger workloads (slower, smoother)
 //	ckibench -list           # list experiment ids
+//
+// The smp experiment can additionally emit observability artifacts
+// (all timestamps are virtual, so the bytes are identical across runs):
+//
+//	ckibench -exp smp -trace-out smp.trace.json    # Chrome/Perfetto trace
+//	ckibench -exp smp -spans-out smp.spans.json    # span profile (ckitrace -in)
+//	ckibench -exp smp -metrics-out smp.metrics.json
 package main
 
 import (
@@ -17,12 +24,65 @@ import (
 	"repro/internal/bench"
 )
 
+func writeFile(path string, data []byte) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id (empty = all)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of a table (chaos and smp)")
+	traceOut := flag.String("trace-out", "", "with -exp smp: write a Chrome trace-event JSON to FILE")
+	spansOut := flag.String("spans-out", "", "with -exp smp: write the span profile JSON to FILE")
+	metricsOut := flag.String("metrics-out", "", "with -exp smp: write the metrics snapshot JSON to FILE")
 	flag.Parse()
+
+	if *traceOut != "" || *spansOut != "" || *metricsOut != "" {
+		if *exp != "smp" {
+			fmt.Fprintln(os.Stderr, "ckibench: -trace-out/-spans-out/-metrics-out require -exp smp")
+			os.Exit(2)
+		}
+		prof, err := bench.RunSMPProfiled(*scale, bench.SMPSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			writeFile(*traceOut, prof.ChromeJSON())
+		}
+		if *spansOut != "" {
+			b, err := prof.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+				os.Exit(1)
+			}
+			writeFile(*spansOut, append(b, '\n'))
+		}
+		if *metricsOut != "" {
+			b, err := prof.MetricsJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+				os.Exit(1)
+			}
+			writeFile(*metricsOut, append(b, '\n'))
+		}
+		// The report itself is byte-identical to an unprofiled run, so
+		// the usual outputs remain available in the same invocation.
+		if *jsonOut {
+			if err := bench.WriteSMPReportJSON(prof.Report, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err := bench.WriteSMPTable(prof.Report, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut {
 		var emit func(int, io.Writer) error

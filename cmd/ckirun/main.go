@@ -6,6 +6,7 @@
 //
 //	ckirun -runtime cki -workload btree
 //	ckirun -runtime hvm -nested -workload gups
+//	ckirun -runtime cki -workload btree -trace-out run.trace.json -metrics-out run.metrics.json
 //	ckirun -list
 package main
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/inspect"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -55,6 +57,8 @@ func main() {
 	dump := flag.Bool("dump", false, "dump the active address space after the run")
 	traceN := flag.Int("trace", 0, "record the flow timeline and print its last N events")
 	faultSeed := flag.Uint64("faults", 0, "run under a deterministic fault plan with this seed (0 = off)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's flow spans to FILE")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON to FILE")
 	flag.Parse()
 
 	cat := catalog()
@@ -92,6 +96,39 @@ func main() {
 	if *traceN > 0 {
 		c.K.Trace = trace.New(4096)
 	}
+	// Span and metrics observers are nil-safe no-ops on the virtual
+	// clock: attaching them changes no measured time. All timestamps are
+	// virtual, so the artifacts are byte-identical across runs.
+	var rec *trace.SpanRecorder
+	var reg *metrics.Registry
+	if *traceOut != "" || *metricsOut != "" {
+		rec = trace.NewSpanRecorder(c.Clk)
+		reg = metrics.NewRegistry()
+		c.Observe(rec, metrics.NewFlowMetrics(reg, metrics.L("runtime", c.Name)))
+	}
+	writeArtifacts := func() {
+		if *traceOut != "" {
+			data := trace.ChromeTrace([]trace.TrackSet{
+				{Name: c.Name + " " + strings.ToLower(*wl), Spans: rec.Spans()},
+			})
+			if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			c.CollectMetrics(reg, metrics.L("workload", strings.ToLower(*wl)))
+			b, err := reg.Snapshot().JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*metricsOut, append(b, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	var plan *faults.Plan
 	if *faultSeed != 0 {
 		plan = faults.DefaultPlan(*faultSeed)
@@ -119,6 +156,7 @@ func main() {
 				fmt.Println()
 				fmt.Print(c.K.Trace.Render(*traceN))
 			}
+			writeArtifacts()
 			return
 		}
 		fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
@@ -144,4 +182,5 @@ func main() {
 		fmt.Println()
 		fmt.Print(c.K.Trace.Render(*traceN))
 	}
+	writeArtifacts()
 }

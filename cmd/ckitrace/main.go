@@ -1,15 +1,24 @@
-// Command ckitrace prints the step-by-step cost decomposition of the
-// context-switch flows the paper analyzes (Fig. 8, Fig. 10): which
-// primitive operations compose a syscall, an anonymous page fault, or a
-// hypercall on each runtime, and what each step costs. The
-// decompositions are asserted against live measurements by
-// internal/bench/flows_test.go, so this narrative cannot drift from
-// the mechanism.
+// Command ckitrace renders the simulator's flow decompositions and
+// observability artifacts.
+//
+// Without -in it prints the static step-by-step cost decomposition of
+// the context-switch flows the paper analyzes (Fig. 8, Fig. 10), which
+// internal/bench/flows_test.go asserts against live measurements.
+//
+// With -in it loads a span profile written by `ckibench -exp smp
+// -spans-out` and renders one of the measured views; all values come
+// from recorded spans over the virtual clock, so every view is
+// byte-identical across runs of the same seeded experiment.
 //
 // Usage:
 //
 //	ckitrace -flow pgfault -runtime pvm
 //	ckitrace -flow syscall -runtime all
+//	ckitrace -in smp.spans.json -breakdown     # Table-2-style attribution
+//	ckitrace -in smp.spans.json -top 10        # hottest phases by self time
+//	ckitrace -in smp.spans.json -chrome        # Chrome/Perfetto trace JSON
+//	ckitrace -in smp.spans.json -folded        # flamegraph collapsed stacks
+//	ckitrace -metrics smp.metrics.json         # render a metrics snapshot
 package main
 
 import (
@@ -20,12 +29,83 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ckitrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func profileViews(path string, breakdown, chrome, folded bool, top int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	prof, err := bench.ParseSMPProfile(data)
+	if err != nil {
+		fail("%v", err)
+	}
+	switch {
+	case breakdown:
+		if err := prof.WriteBreakdown(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	case chrome:
+		os.Stdout.Write(prof.ChromeJSON())
+	case folded:
+		fmt.Print(prof.FoldedStacks())
+	case top > 0:
+		for _, r := range prof.Runs {
+			fmt.Printf("%s %dvcpu — top %d phases by self time:\n", r.Runtime, r.VCPUs, top)
+			phases := trace.TopPhases(r.Spans)
+			if len(phases) > top {
+				phases = phases[:top]
+			}
+			for _, ph := range phases {
+				fmt.Printf("  %-32s %10d x %14.3f ns\n", ph.Phase, ph.Count, ph.Self.Nanos())
+			}
+			fmt.Println()
+		}
+	default:
+		fail("-in requires one of -breakdown, -top N, -chrome, -folded")
+	}
+}
+
+func renderMetrics(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	snap, err := metrics.ParseSnapshot(data)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := snap.Render(os.Stdout); err != nil {
+		fail("%v", err)
+	}
+}
 
 func main() {
 	flow := flag.String("flow", "pgfault", "syscall | pgfault | hypercall")
 	rt := flag.String("runtime", "all", "runc | hvm | hvm-nst | pvm | cki | all")
+	in := flag.String("in", "", "span profile JSON from ckibench -exp smp -spans-out")
+	breakdown := flag.Bool("breakdown", false, "with -in: per-phase cycle attribution (verified against the report)")
+	top := flag.Int("top", 0, "with -in: print the N hottest phases by self time per run")
+	chrome := flag.Bool("chrome", false, "with -in: emit Chrome trace-event JSON")
+	folded := flag.Bool("folded", false, "with -in: emit flamegraph collapsed stacks")
+	metricsIn := flag.String("metrics", "", "render a metrics snapshot JSON written by -metrics-out")
 	flag.Parse()
+
+	if *metricsIn != "" {
+		renderMetrics(*metricsIn)
+		return
+	}
+	if *in != "" {
+		profileViews(*in, *breakdown, *chrome, *folded, *top)
+		return
+	}
 
 	all := bench.Flows(clock.DefaultCosts())
 	fl, ok := all[*flow]

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/smp"
 	"repro/internal/tlb"
+	"repro/internal/trace"
 )
 
 // Kind selects a container runtime.
@@ -379,6 +380,7 @@ func (c *Container) MigrateVCPU(v int) error {
 	if v < 0 || v >= c.Opts.NumVCPU {
 		return fmt.Errorf("backends: vCPU %d out of range (%d configured)", v, c.Opts.NumVCPU)
 	}
+	start := c.Clk.Now()
 	c.Clk.Advance(c.Costs.RegsSwap + c.pv.migrationCost())
 	mode := c.CPU.Mode()
 	root, pcid := c.CPU.CR3(), c.CPU.PCID()
@@ -390,6 +392,7 @@ func (c *Container) MigrateVCPU(v int) error {
 		c.K.CPU = t.CPU
 	}
 	c.vcpu = v
+	c.K.VCPU = v
 	c.K.Stats.VCPUMigrations++
 	// Context restore runs in kernel mode (the host's scheduler moving
 	// the vCPU thread).
@@ -411,6 +414,10 @@ func (c *Container) MigrateVCPU(v int) error {
 		return f
 	}
 	c.CPU.SetMode(mode)
+	c.K.Trace.Record(trace.Event{
+		Kind: trace.Migrate, At: start, Dur: c.Clk.Now() - start,
+		PID: c.K.Cur.PID, VCPU: v,
+	})
 	return nil
 }
 
@@ -452,7 +459,13 @@ func (c *Container) emitShootdown(k *guest.Kernel, spec smp.ShootdownSpec) {
 	}
 	spec.Inj = k.Inj
 	k.Stats.TLBShootdowns++
-	if _, err := c.smp.Shootdown(spec); err != nil {
+	start := c.Clk.Now()
+	lat, err := c.smp.Shootdown(spec)
+	k.Trace.Record(trace.Event{
+		Kind: trace.Shootdown, At: start, Dur: lat,
+		PID: k.Cur.PID, VCPU: c.vcpu,
+	})
+	if err != nil {
 		k.VIC.SetEnabled(false)
 		for i := 0; i < watchdogWedgeTicks; i++ {
 			k.VIC.Post(hw.VectorTimer)
@@ -503,3 +516,18 @@ type internalPV interface {
 // virtual TLBs). setVCPU runs after the container's CPU/MMU have been
 // rebound to the target vCPU.
 type vcpuAware interface{ setVCPU(v int) }
+
+// nativeRemotePhases decomposes the native remote shootdown-service leg
+// (the smp engine's default RemoteCost) into attributable phases. The
+// sum equals InterruptDeliver + Invlpg + IPIAck + Iret exactly, so
+// span-level accounting matches the engine's charged latency.
+func nativeRemotePhases(c *clock.Costs) func(int) []smp.PhaseCost {
+	return func(int) []smp.PhaseCost {
+		return []smp.PhaseCost{
+			{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+			{Name: "invlpg", Cost: c.Invlpg},
+			{Name: "ipi_ack", Cost: c.IPIAck},
+			{Name: "iret", Cost: c.Iret},
+		}
+	}
+}

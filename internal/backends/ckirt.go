@@ -113,6 +113,15 @@ func (b *ckiPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 			return c.InterruptDeliver + c.Invlpg + c.KSMPTEVerify +
 				c.IPIAck + c.Iret
 		},
+		RemotePhases: func(int) []smp.PhaseCost {
+			return []smp.PhaseCost{
+				{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+				{Name: "invlpg", Cost: c.Invlpg},
+				{Name: "ksm_reverify", Cost: c.KSMPTEVerify},
+				{Name: "ipi_ack", Cost: c.IPIAck},
+				{Name: "iret", Cost: c.Iret},
+			}
+		},
 		RemoteFlush: func(v *smp.VCPU) error {
 			_, err := b.ksm.RefreshTopCopy(as.Root, v.ID)
 			return err
@@ -125,20 +134,22 @@ func (b *ckiPV) Switcher() *cki.Switcher { return b.sw }
 
 func (b *ckiPV) SyscallEnter(k *guest.Kernel) {
 	c := b.c.Costs
-	d := c.SyscallTrap
+	k.Phase("syscall_trap", c.SyscallTrap)
 	if b.c.Opts.WoOPT2 {
-		d += c.PTSwitch // ablation: page-table switch on entry
+		k.Phase("pt_switch", c.PTSwitch) // ablation: page-table switch on entry
 	}
 	if b.c.Opts.DesignPKU {
 		// PKU alternative: the syscall lands in the PKU-isolated
 		// user-mode guest kernel, crossing a protection-key domain.
-		d += c.WrPKRU + c.ModeSwitch
+		k.Phase("wrpkru", c.WrPKRU)
+		k.Phase("mode_switch", c.ModeSwitch)
 	}
 	if b.c.Opts.EmulatePVMSyscall {
 		// §7.3: graft PVM's redirection latency onto CKI (enter half).
-		d += c.ModeSwitch + c.PTSwitch + c.PVMSyscallDispatch
+		k.Phase("mode_switch", c.ModeSwitch)
+		k.Phase("pt_switch", c.PTSwitch)
+		k.Phase("syscall_dispatch", c.PVMSyscallDispatch)
 	}
-	k.Clk.Advance(d)
 	if k.CPU.Mode() == hw.ModeUser {
 		k.CPU.Syscall()
 	} else {
@@ -148,22 +159,24 @@ func (b *ckiPV) SyscallEnter(k *guest.Kernel) {
 
 func (b *ckiPV) SyscallExit(k *guest.Kernel) {
 	c := b.c.Costs
-	d := c.SysretExit
+	k.Phase("sysret_exit", c.SysretExit)
 	if b.c.Opts.WoOPT2 {
-		d += c.PTSwitch
+		k.Phase("pt_switch", c.PTSwitch)
 	}
 	if b.c.Opts.WoOPT3 {
 		// Ablation: sysret/swapgs blocked; the exit detours through the
 		// KSM (two PKS switches + emulation).
-		d += 2*c.WrPKRSLeg + c.KSMSysretEmul
+		k.Phase("wrpkrs_leg", 2*c.WrPKRSLeg)
+		k.Phase("ksm_sysret_emul", c.KSMSysretEmul)
 	}
 	if b.c.Opts.DesignPKU {
-		d += c.WrPKRU + c.ModeSwitch
+		k.Phase("wrpkru", c.WrPKRU)
+		k.Phase("mode_switch", c.ModeSwitch)
 	}
 	if b.c.Opts.EmulatePVMSyscall {
-		d += c.ModeSwitch + c.PTSwitch
+		k.Phase("mode_switch", c.ModeSwitch)
+		k.Phase("pt_switch", c.PTSwitch)
 	}
-	k.Clk.Advance(d)
 	if flt := k.CPU.Sysret(true); flt != nil {
 		k.CPU.SetMode(hw.ModeUser)
 	}
@@ -173,14 +186,14 @@ func (b *ckiPV) FaultEnter(k *guest.Kernel) {
 	// The user exception vectors straight into the guest kernel's
 	// handler: PKRS is already PKRSGuest in user mode (§4.2).
 	c := b.c.Costs
-	k.Clk.Advance(c.ExcTrap)
+	k.Phase("exc_trap", c.ExcTrap)
 	if b.c.Opts.DesignPKU {
 		// PKU alternative (§3.1): exceptions trap to the host kernel,
 		// which injects them into the user-mode guest kernel with
 		// additional cross-ring switches (~750ns extra on the paper's
 		// testbed).
-		k.Clk.Advance(2*c.ModeSwitch + c.SPTExcInject + 2*c.WrPKRU +
-			c.ExcTrap + 2*c.RegsSwap + c.PVMExcRTExtra*2)
+		k.Phase("pku_exc_inject", 2*c.ModeSwitch+c.SPTExcInject+2*c.WrPKRU+
+			c.ExcTrap+2*c.RegsSwap+c.PVMExcRTExtra*2)
 	}
 	k.CPU.SetMode(hw.ModeKernel)
 }
@@ -190,7 +203,7 @@ func (b *ckiPV) FaultExit(k *guest.Kernel) {
 	// then the extended iret restores PKRS from the frame (§4.2).
 	c := b.c.Costs
 	b.gateHardening(k)
-	k.Clk.Advance(c.WrPKRSLeg)
+	k.Phase("wrpkrs_leg", c.WrPKRSLeg)
 	if flt := k.CPU.Wrpkrs(0); flt != nil {
 		k.CPU.SetMode(hw.ModeUser)
 		return
@@ -201,7 +214,7 @@ func (b *ckiPV) FaultExit(k *guest.Kernel) {
 		SavedIF:   true,
 		SavedPKRS: cki.PKRSGuest,
 	}
-	k.Clk.Advance(c.Iret)
+	k.Phase("iret", c.Iret)
 	if flt := k.CPU.Iret(frame); flt != nil {
 		k.CPU.SetMode(hw.ModeUser)
 	}
@@ -234,7 +247,7 @@ func (b *ckiPV) FreeFrame(k *guest.Kernel, pfn mem.PFN) {
 // from the KSM gate (zero unless the ablation is on).
 func (b *ckiPV) gateHardening(k *guest.Kernel) {
 	if b.c.Opts.HardenKSMGate {
-		k.Clk.Advance(b.c.Costs.PTSwitch - b.c.Costs.PTSwitchNoPTI + b.c.Costs.IBRS)
+		k.Phase("gate_hardening", b.c.Costs.PTSwitch-b.c.Costs.PTSwitchNoPTI+b.c.Costs.IBRS)
 	}
 }
 
@@ -247,7 +260,7 @@ func (b *ckiPV) DeclarePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN, le
 	}
 	b.gateHardening(k)
 	return b.gate.Call(func() error {
-		k.Clk.Advance(b.c.Costs.KSMPTEVerify)
+		k.Phase("ksm_pte_verify", b.c.Costs.KSMPTEVerify)
 		return b.ksm.DeclarePTP(ptp, level)
 	})
 }
@@ -255,7 +268,7 @@ func (b *ckiPV) DeclarePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN, le
 func (b *ckiPV) RetirePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN) error {
 	b.gateHardening(k)
 	return b.gate.Call(func() error {
-		k.Clk.Advance(b.c.Costs.KSMPTEVerify)
+		k.Phase("ksm_pte_verify", b.c.Costs.KSMPTEVerify)
 		return b.ksm.Retire(ptp)
 	})
 }
@@ -263,7 +276,8 @@ func (b *ckiPV) RetirePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN) err
 func (b *ckiPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
 	b.gateHardening(k)
 	return b.gate.Call(func() error {
-		k.Clk.Advance(b.c.Costs.KSMPTEVerify + b.c.Costs.PTEWrite)
+		k.Phase("ksm_pte_verify", b.c.Costs.KSMPTEVerify)
+		k.Phase("pte_write", b.c.Costs.PTEWrite)
 		return b.ksm.WritePTE(level, ptp, idx, v)
 	})
 }
@@ -271,7 +285,8 @@ func (b *ckiPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uin
 func (b *ckiPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
 	b.gateHardening(k)
 	return b.gate.Call(func() error {
-		k.Clk.Advance(b.c.Costs.KSMCR3Verify + b.c.Costs.PTSwitchNoPTI)
+		k.Phase("ksm_cr3_verify", b.c.Costs.KSMCR3Verify)
+		k.Phase("pt_switch", b.c.Costs.PTSwitchNoPTI)
 		cp, err := b.ksm.LoadCR3(b.vcpu, as.Root)
 		if err != nil {
 			return err
@@ -295,7 +310,8 @@ func (b *ckiPV) FlushPage(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 // used here: its gate touches the per-vCPU area through the *current*
 // CR3, which still belongs to whoever ran last.)
 func (b *ckiPV) hostActivate(k *guest.Kernel) error {
-	k.Clk.Advance(b.c.Costs.KSMCR3Verify + b.c.Costs.PTSwitchNoPTI)
+	k.Phase("ksm_cr3_verify", b.c.Costs.KSMCR3Verify)
+	k.Phase("pt_switch", b.c.Costs.PTSwitchNoPTI)
 	cp, err := b.ksm.LoadCR3(b.vcpu, k.Cur.AS.Root)
 	if err != nil {
 		return err

@@ -57,24 +57,36 @@ const (
 func (b *gvisorPV) SyscallEnter(k *guest.Kernel) {
 	// App → Systrap stub → IPC → Sentry.
 	b.SystrapRoundTrips++
-	k.Clk.Advance(b.systrapLeg())
+	c := b.c.Costs
+	k.Phase("syscall_trap", c.SyscallTrap)
+	k.Phase("mode_switch", c.ModeSwitch)
+	k.Phase("pt_switch", c.PTSwitchNoPTI)
+	k.Phase("regs_swap", c.RegsSwap)
+	k.Phase("sentry_wake", clock.FromNanos(sentryWakeNs))
 	k.CPU.SetMode(hw.ModeUser) // the Sentry is a user process
 }
 
 func (b *gvisorPV) SyscallExit(k *guest.Kernel) {
-	k.Clk.Advance(b.systrapLeg() - b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	// The return leg swaps the trap entry for a sysret.
+	c := b.c.Costs
+	k.Phase("mode_switch", c.ModeSwitch)
+	k.Phase("pt_switch", c.PTSwitchNoPTI)
+	k.Phase("regs_swap", c.RegsSwap)
+	k.Phase("sentry_wake", clock.FromNanos(sentryWakeNs))
+	k.Phase("sysret_exit", c.SysretExit)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
 func (b *gvisorPV) FaultEnter(k *guest.Kernel) {
 	// The HOST kernel takes the fault; the Sentry is consulted for the
 	// memory layout it registered.
-	k.Clk.Advance(b.c.Costs.ExcTrap + clock.FromNanos(sentryMMNs))
+	k.Phase("exc_trap", b.c.Costs.ExcTrap)
+	k.Phase("sentry_mm", clock.FromNanos(sentryMMNs))
 	k.CPU.SetMode(hw.ModeKernel)
 }
 
 func (b *gvisorPV) FaultExit(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.Iret)
+	k.Phase("iret", b.c.Costs.Iret)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
@@ -101,13 +113,15 @@ func (b *gvisorPV) RetirePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN) 
 func (b *gvisorPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
 	// The Sentry asks the host to adjust mappings; amortized host-call
 	// share per entry on top of the store itself.
-	k.Clk.Advance(b.c.Costs.PTEWrite + clock.FromNanos(90))
+	k.Phase("pte_write", b.c.Costs.PTEWrite)
+	k.Phase("sentry_hostcall", clock.FromNanos(90))
 	pagetable.WriteEntry(b.c.HostMem, ptp, idx, v)
 	return nil
 }
 
 func (b *gvisorPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
-	k.Clk.Advance(b.c.Costs.PTSwitchNoPTI + clock.FromNanos(sentrySchedNs))
+	k.Phase("pt_switch", b.c.Costs.PTSwitchNoPTI)
+	k.Phase("sentry_sched", clock.FromNanos(sentrySchedNs))
 	mode := k.CPU.Mode()
 	k.CPU.SetMode(hw.ModeKernel)
 	defer k.CPU.SetMode(mode)
@@ -131,7 +145,8 @@ func (b *gvisorPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, e
 	mode := k.CPU.Mode()
 	k.CPU.SetMode(hw.ModeKernel)
 	defer k.CPU.SetMode(mode)
-	k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+	k.Phase("sysret_exit", b.c.Costs.SysretExit)
 	return b.c.Host.Hypercall(k.Clk, nr, args...)
 }
 
@@ -155,37 +170,42 @@ func (b *gvisorPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64
 		Send: func(targets []int) error {
 			// One host syscall by the Sentry, then per-target ICR writes
 			// executed by the host kernel.
-			k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+			k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+			k.Phase("sysret_exit", b.c.Costs.SysretExit)
 			mode := k.CPU.Mode()
 			k.CPU.SetMode(hw.ModeKernel)
 			defer k.CPU.SetMode(mode)
 			for _, t := range targets {
-				k.Clk.Advance(b.c.Costs.IPISend)
+				k.Phase("ipi_send", b.c.Costs.IPISend)
 				if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
 					return f
 				}
 			}
 			return nil
 		},
+		RemotePhases: nativeRemotePhases(b.c.Costs),
 	})
 }
 
 func (b *gvisorPV) DeliverVirtIRQ(k *guest.Kernel) {
 	// Packet → host IRQ → Sentry wakeup → netstack processing.
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorVirtIO)
-	k.Clk.Advance(clock.FromNanos(sentryWakeNs + sentryNetstackNs))
+	k.Phase("sentry_wake", clock.FromNanos(sentryWakeNs))
+	k.Phase("sentry_netstack", clock.FromNanos(sentryNetstackNs))
 }
 
 func (b *gvisorPV) DeliverTimerIRQ(k *guest.Kernel) {
 	// Host tick wakes the Sentry, which reschedules its tasks.
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorTimer)
-	k.Clk.Advance(clock.FromNanos(sentryWakeNs + sentrySchedNs))
+	k.Phase("sentry_wake", clock.FromNanos(sentryWakeNs))
+	k.Phase("sentry_sched", clock.FromNanos(sentrySchedNs))
 }
 
 func (b *gvisorPV) VirtioKick(k *guest.Kernel) error {
 	// TX through the Sentry netstack and a host sendmsg.
-	k.Clk.Advance(clock.FromNanos(sentryNetstackNs) +
-		b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	k.Phase("sentry_netstack", clock.FromNanos(sentryNetstackNs))
+	k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+	k.Phase("sysret_exit", b.c.Costs.SysretExit)
 	_, err := b.c.Host.Hypercall(k.Clk, hostKickNr)
 	return err
 }

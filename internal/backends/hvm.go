@@ -90,21 +90,38 @@ func (b *hvmPV) vmExitCost() clock.Time {
 	return c.VMExit + c.KVMDispatch + c.VMEntry
 }
 
+// chargeVMExit charges vmExitCost phase by phase.
+func (b *hvmPV) chargeVMExit(k *guest.Kernel) {
+	c := b.c.Costs
+	if b.c.Opts.Nested {
+		k.Phase("nested_leg", 2*c.NestedLegRT)
+		k.Phase("kvm_dispatch", c.KVMDispatch)
+		return
+	}
+	k.Phase("vm_exit", c.VMExit)
+	k.Phase("kvm_dispatch", c.KVMDispatch)
+	k.Phase("vm_entry", c.VMEntry)
+}
+
 // eptViolation services one missing gPA mapping.
 func (b *hvmPV) eptViolation(k *guest.Kernel, gpfn mem.PFN) error {
 	b.EPTViolations++
 	b.VMExits++
 	c := b.c.Costs
+	span := k.SpanBegin("ept_violation")
 	if b.c.Opts.Nested {
 		// The L2 exit is forwarded through L0 to the L1 hypervisor,
 		// whose shadow-EPT handling issues many VMCS accesses, each an
 		// L1↔L0 round trip (no VMCS shadowing for nested EPT state).
-		k.Clk.Advance(2*c.NestedLegRT +
-			clock.Time(c.SEPTEmulVMCSAccesses)*c.VMCSAccessRT +
-			c.SEPTEmulWork)
+		k.Phase("nested_leg", 2*c.NestedLegRT)
+		k.Phase("sept_vmcs_accesses", clock.Time(c.SEPTEmulVMCSAccesses)*c.VMCSAccessRT)
+		k.Phase("sept_emul_work", c.SEPTEmulWork)
 	} else {
-		k.Clk.Advance(c.VMExit + c.EPTViolationWork + c.VMEntry)
+		k.Phase("vm_exit", c.VMExit)
+		k.Phase("ept_violation_work", c.EPTViolationWork)
+		k.Phase("vm_entry", c.VMEntry)
 	}
+	k.SpanEnd(span)
 	if b.c.Opts.EPTHugePages {
 		base := gpfn &^ (mem.HugePageSize/mem.PageSize - 1)
 		seg, err := b.c.HostMem.AllocSegment(mem.HugePageSize/mem.PageSize, b.id)
@@ -132,22 +149,23 @@ func (b *hvmPV) ensureEPT(k *guest.Kernel, gpfn mem.PFN) error {
 
 func (b *hvmPV) SyscallEnter(k *guest.Kernel) {
 	// Native path inside the guest; no VM exit (§7.1).
-	k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.HVMSyscallExtra)
+	k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+	k.Phase("hvm_syscall_extra", b.c.Costs.HVMSyscallExtra)
 	k.CPU.SetMode(hw.ModeKernel)
 }
 
 func (b *hvmPV) SyscallExit(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.SysretExit)
+	k.Phase("sysret_exit", b.c.Costs.SysretExit)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
 func (b *hvmPV) FaultEnter(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.ExcTrap)
+	k.Phase("exc_trap", b.c.Costs.ExcTrap)
 	k.CPU.SetMode(hw.ModeKernel)
 }
 
 func (b *hvmPV) FaultExit(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.Iret)
+	k.Phase("iret", b.c.Costs.Iret)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
@@ -178,13 +196,13 @@ func (b *hvmPV) RetirePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN) err
 
 func (b *hvmPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
 	// Direct store: no exit. The EPT bill arrives at first touch.
-	k.Clk.Advance(b.c.Costs.PTEWrite)
+	k.Phase("pte_write", b.c.Costs.PTEWrite)
 	pagetable.WriteEntry(b.guestMem, ptp, idx, v)
 	return nil
 }
 
 func (b *hvmPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
-	k.Clk.Advance(b.c.Costs.PTSwitchNoPTI)
+	k.Phase("pt_switch", b.c.Costs.PTSwitchNoPTI)
 	mode := k.CPU.Mode()
 	k.CPU.SetMode(hw.ModeKernel)
 	defer k.CPU.SetMode(mode)
@@ -192,7 +210,7 @@ func (b *hvmPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
 }
 
 func (b *hvmPV) FlushPage(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
-	k.Clk.Advance(b.c.Costs.Invlpg)
+	k.Phase("invlpg", b.c.Costs.Invlpg)
 	b.vtlb().FlushPage(as.PCID, va)
 }
 
@@ -236,9 +254,9 @@ func (b *hvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc 
 			}
 			// Charge the 2-D fill and set guest A/D bits.
 			if agg.Huge {
-				k.Clk.Advance(b.c.Costs.TLBMiss2D2M)
+				k.Phase("tlb_fill_2d_2m", b.c.Costs.TLBMiss2D2M)
 			} else {
-				k.Clk.Advance(b.c.Costs.TLBMiss2D)
+				k.Phase("tlb_fill_2d", b.c.Costs.TLBMiss2D)
 			}
 			w, err := pagetable.Translate(b.guestMem, as.Root, va)
 			if err == nil {
@@ -254,7 +272,7 @@ func (b *hvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc 
 
 func (b *hvmPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, error) {
 	b.VMExits++
-	k.Clk.Advance(b.vmExitCost())
+	b.chargeVMExit(k)
 	return b.c.Host.Hypercall(k.Clk, nr, args...)
 }
 
@@ -287,7 +305,8 @@ func (b *hvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 		Send: func(targets []int) error {
 			for _, t := range targets {
 				b.VMExits++
-				k.Clk.Advance(b.vmExitCost() + c.IPISend)
+				b.chargeVMExit(k)
+				k.Phase("ipi_send", c.IPISend)
 				b.c.smp.Post(t, hw.VectorIPI)
 			}
 			return nil
@@ -297,6 +316,23 @@ func (b *hvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 				return 2*c.NestedLegRT + c.InterruptDeliver + c.Invlpg + c.IPIAck
 			}
 			return c.VMExit + c.InterruptDeliver + c.Invlpg + c.IPIAck + c.VMEntry
+		},
+		RemotePhases: func(int) []smp.PhaseCost {
+			if b.c.Opts.Nested {
+				return []smp.PhaseCost{
+					{Name: "nested_leg", Cost: 2 * c.NestedLegRT},
+					{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+					{Name: "invlpg", Cost: c.Invlpg},
+					{Name: "ipi_ack", Cost: c.IPIAck},
+				}
+			}
+			return []smp.PhaseCost{
+				{Name: "vm_exit", Cost: c.VMExit},
+				{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+				{Name: "invlpg", Cost: c.Invlpg},
+				{Name: "ipi_ack", Cost: c.IPIAck},
+				{Name: "vm_entry", Cost: c.VMEntry},
+			}
 		},
 		RemoteFlush: func(v *smp.VCPU) error {
 			if v.ID < len(b.vtlbs) {
@@ -316,13 +352,16 @@ func (b *hvmPV) DeliverVirtIRQ(k *guest.Kernel) {
 	c := b.c.Costs
 	if b.c.Opts.Nested {
 		b.VMExits += 2
-		k.Clk.Advance(4*c.NestedLegRT + 2*c.VMCSAccessRT)
+		k.Phase("nested_leg", 4*c.NestedLegRT)
+		k.Phase("vmcs_access", 2*c.VMCSAccessRT)
 	} else {
 		b.VMExits += 2
-		k.Clk.Advance(2 * (c.VMExit + c.VMEntry))
+		k.Phase("vm_exit", 2*c.VMExit)
+		k.Phase("vm_entry", 2*c.VMEntry)
 	}
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorVirtIO)
-	k.Clk.Advance(c.InterruptDeliver + c.Iret)
+	k.Phase("interrupt_deliver", c.InterruptDeliver)
+	k.Phase("iret", c.Iret)
 }
 
 func (b *hvmPV) DeliverTimerIRQ(k *guest.Kernel) {
@@ -330,18 +369,21 @@ func (b *hvmPV) DeliverTimerIRQ(k *guest.Kernel) {
 	c := b.c.Costs
 	b.VMExits++
 	if b.c.Opts.Nested {
-		k.Clk.Advance(2 * c.NestedLegRT)
+		k.Phase("nested_leg", 2*c.NestedLegRT)
 	} else {
-		k.Clk.Advance(c.VMExit + c.VMEntry)
+		k.Phase("vm_exit", c.VMExit)
+		k.Phase("vm_entry", c.VMEntry)
 	}
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorTimer)
-	k.Clk.Advance(c.InterruptDeliver + c.Iret)
+	k.Phase("interrupt_deliver", c.InterruptDeliver)
+	k.Phase("iret", c.Iret)
 }
 
 func (b *hvmPV) VirtioKick(k *guest.Kernel) error {
 	// The kick is an MMIO store: exit + instruction decode/emulation.
 	b.VMExits++
-	k.Clk.Advance(b.vmExitCost() + b.c.Costs.MMIODecode)
+	b.chargeVMExit(k)
+	k.Phase("mmio_decode", b.c.Costs.MMIODecode)
 	_, err := b.c.Host.Hypercall(k.Clk, host.HcVirtioKick)
 	return err
 }

@@ -1,0 +1,90 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+
+	"repro/internal/guest"
+	"repro/internal/mmu"
+)
+
+func driveObserved(t *testing.T, c *Container) {
+	t.Helper()
+	c.K.Getpid()
+	addr, err := c.K.MmapCall(4*mem.PageSize, guest.ProtRead|guest.ProtWrite, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.K.TouchRange(addr, 4*mem.PageSize, mmu.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.K.MunmapCall(addr, 4*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Attaching the observability layer must not move the virtual clock by
+// a single picosecond: an observed container and an identical
+// unobserved one end the same workload at the same virtual time.
+func TestObserveCostsZeroVirtualTime(t *testing.T) {
+	for _, kind := range []Kind{RunC, HVM, PVM, CKI, GVisor} {
+		base := MustNew(kind, Options{NumVCPU: 2})
+		obs := MustNew(kind, Options{NumVCPU: 2})
+		reg := metrics.NewRegistry()
+		rec := trace.NewSpanRecorder(obs.Clk)
+		obs.Observe(rec, metrics.NewFlowMetrics(reg, metrics.L("runtime", obs.Name)))
+
+		driveObserved(t, base)
+		driveObserved(t, obs)
+		if base.Clk.Now() != obs.Clk.Now() {
+			t.Errorf("%s: observed clock %v != unobserved %v",
+				obs.Name, obs.Clk.Now(), base.Clk.Now())
+		}
+		if rec.Len() == 0 {
+			t.Errorf("%s: observer attached but recorded nothing", obs.Name)
+		}
+
+		// Detaching restores the nil fast path and stops recording.
+		obs.Observe(nil, nil)
+		before := rec.Len()
+		driveObserved(t, base)
+		driveObserved(t, obs)
+		if base.Clk.Now() != obs.Clk.Now() {
+			t.Errorf("%s: clocks diverged after detach", obs.Name)
+		}
+		if rec.Len() != before {
+			t.Errorf("%s: recorder grew after detach", obs.Name)
+		}
+	}
+}
+
+// CollectMetrics harvests labelled counters that agree with the guest
+// kernel's own statistics.
+func TestCollectMetricsMatchesKernelStats(t *testing.T) {
+	c := MustNew(CKI, Options{NumVCPU: 2})
+	driveObserved(t, c)
+	reg := metrics.NewRegistry()
+	c.CollectMetrics(reg)
+	got := reg.Counter("guest_syscalls_total", "Syscalls served by the guest kernel.",
+		metrics.L("runtime", c.Name)).Value()
+	if got != c.K.Stats.Syscalls {
+		t.Errorf("guest_syscalls_total = %d, kernel counted %d", got, c.K.Stats.Syscalls)
+	}
+	if got == 0 {
+		t.Error("no syscalls collected")
+	}
+	// TLB rows exist and hits+misses are consistent with the MMU.
+	var hits, misses uint64
+	for _, ps := range c.MMU.TLB.PCIDStats() {
+		hits += ps.Hits
+		misses += ps.Misses
+	}
+	if hits == 0 {
+		t.Error("no per-PCID TLB hits recorded")
+	}
+	// Collecting into a nil registry is a no-op, not a crash.
+	c.CollectMetrics(nil)
+}

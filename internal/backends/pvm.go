@@ -71,19 +71,43 @@ func (b *pvmPV) hypercallCost() clock.Time {
 	return d
 }
 
+// chargeHostLeg charges one hostLeg phase by phase; n legs at once.
+func (b *pvmPV) chargeHostLeg(k *guest.Kernel, n clock.Time) {
+	c := b.c.Costs
+	k.Phase("mode_switch", n*c.ModeSwitch)
+	k.Phase("pt_switch", n*c.PTSwitch)
+	k.Phase("regs_swap", n*c.RegsSwap)
+}
+
+// chargeHypercall charges hypercallCost phase by phase.
+func (b *pvmPV) chargeHypercall(k *guest.Kernel) {
+	c := b.c.Costs
+	b.chargeHostLeg(k, 2)
+	k.Phase("ibrs", c.IBRS)
+	k.Phase("hypercall_dispatch", c.PVMHypercallDispatch)
+	if b.c.Opts.Nested {
+		k.Phase("nested_extra", c.PVMNSTSwitchExtra)
+	}
+}
+
 func (b *pvmPV) SyscallEnter(k *guest.Kernel) {
 	// user → host (trap) → guest kernel address space → user-mode guest
 	// kernel entry. No IBRS: PVM's optimized syscall path (336ns total).
 	c := b.c.Costs
 	b.VMExits++
-	k.Clk.Advance(c.SyscallTrap + c.PVMSyscallDispatch + c.PTSwitch + c.ModeSwitch)
+	k.Phase("syscall_trap", c.SyscallTrap)
+	k.Phase("syscall_dispatch", c.PVMSyscallDispatch)
+	k.Phase("pt_switch", c.PTSwitch)
+	k.Phase("mode_switch", c.ModeSwitch)
 	// The guest kernel executes in user mode under PVM.
 	k.CPU.SetMode(hw.ModeUser)
 }
 
 func (b *pvmPV) SyscallExit(k *guest.Kernel) {
 	c := b.c.Costs
-	k.Clk.Advance(c.SyscallTrap + c.PTSwitch + c.SysretExit)
+	k.Phase("syscall_trap", c.SyscallTrap)
+	k.Phase("pt_switch", c.PTSwitch)
+	k.Phase("sysret_exit", c.SysretExit)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
@@ -93,15 +117,23 @@ func (b *pvmPV) FaultEnter(k *guest.Kernel) {
 	c := b.c.Costs
 	b.VMExits++
 	b.Injections++
-	k.Clk.Advance(c.ExcTrap + c.SPTWalk + c.SPTInstrEmu + c.SPTExcInject +
-		b.hostLeg() + c.IBRS + c.PVMExcRTExtra)
+	k.Phase("exc_trap", c.ExcTrap)
+	k.Phase("spt_walk", c.SPTWalk)
+	k.Phase("spt_instr_emu", c.SPTInstrEmu)
+	k.Phase("spt_exc_inject", c.SPTExcInject)
+	b.chargeHostLeg(k, 1)
+	k.Phase("ibrs", c.IBRS)
+	k.Phase("pvm_exc_rt_extra", c.PVMExcRTExtra)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
 func (b *pvmPV) FaultExit(k *guest.Kernel) {
 	c := b.c.Costs
 	b.VMExits++
-	k.Clk.Advance(b.hostLeg() + c.IBRS + c.PVMExcRTExtra + c.Iret)
+	b.chargeHostLeg(k, 1)
+	k.Phase("ibrs", c.IBRS)
+	k.Phase("pvm_exc_rt_extra", c.PVMExcRTExtra)
+	k.Phase("iret", c.Iret)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
@@ -168,7 +200,9 @@ func (b *pvmPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uin
 	// fixes the shadow (§2.4.2 "inefficient page table updates").
 	b.VMExits++
 	b.ShadowOps++
-	k.Clk.Advance(b.hypercallCost() + b.c.Costs.SPTMgmt + b.c.Costs.PTEWrite)
+	b.chargeHypercall(k)
+	k.Phase("spt_mgmt", b.c.Costs.SPTMgmt)
+	k.Phase("pte_write", b.c.Costs.PTEWrite)
 	pagetable.WriteEntry(b.guestMem, ptp, idx, v)
 	// Shadow sync happens on leaf entries: the host translates the gPA
 	// through its memslots and installs gVA→hPA.
@@ -214,7 +248,7 @@ func (b *pvmPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
 	// The guest kernel cannot load CR3: it hypercalls, and the host
 	// loads the shadow root (§7.1 lmbench analysis).
 	b.VMExits++
-	k.Clk.Advance(b.hypercallCost())
+	b.chargeHypercall(k)
 	mode := k.CPU.Mode()
 	k.CPU.SetMode(hw.ModeKernel)
 	defer k.CPU.SetMode(mode)
@@ -229,7 +263,7 @@ func (b *pvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc 
 
 func (b *pvmPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, error) {
 	b.VMExits++
-	k.Clk.Advance(b.hypercallCost())
+	b.chargeHypercall(k)
 	return b.c.Host.Hypercall(k.Clk, nr, args...)
 }
 
@@ -257,7 +291,7 @@ func (b *pvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 		VA:   va,
 		Send: func(targets []int) error {
 			b.VMExits++
-			k.Clk.Advance(b.hypercallCost())
+			b.chargeHypercall(k)
 			_, err := b.c.Host.Hypercall(k.Clk, host.HcSendIPI,
 				vcpuMask(targets), uint64(hw.VectorIPI))
 			return err
@@ -265,6 +299,7 @@ func (b *pvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 		RemoteCost: func(int) clock.Time {
 			return c.InterruptDeliver + c.Invlpg + c.IPIAck + c.Iret
 		},
+		RemotePhases: nativeRemotePhases(c),
 	})
 }
 
@@ -274,7 +309,9 @@ func (b *pvmPV) DeliverVirtIRQ(k *guest.Kernel) {
 	c := b.c.Costs
 	b.Injections++
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorVirtIO)
-	k.Clk.Advance(2*b.hostLeg() + c.IBRS + c.InterruptDeliver)
+	b.chargeHostLeg(k, 2)
+	k.Phase("ibrs", c.IBRS)
+	k.Phase("interrupt_deliver", c.InterruptDeliver)
 }
 
 func (b *pvmPV) DeliverTimerIRQ(k *guest.Kernel) {
@@ -283,7 +320,9 @@ func (b *pvmPV) DeliverTimerIRQ(k *guest.Kernel) {
 	c := b.c.Costs
 	b.Injections++
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorTimer)
-	k.Clk.Advance(2*b.hostLeg() + c.IBRS + c.InterruptDeliver)
+	b.chargeHostLeg(k, 2)
+	k.Phase("ibrs", c.IBRS)
+	k.Phase("interrupt_deliver", c.InterruptDeliver)
 }
 
 func (b *pvmPV) VirtioKick(k *guest.Kernel) error {
@@ -294,8 +333,12 @@ func (b *pvmPV) VirtioKick(k *guest.Kernel) error {
 	// as replacing MMIOs with hypercalls").
 	c := b.c.Costs
 	b.VMExits++
-	k.Clk.Advance(c.ExcTrap + c.SPTInstrEmu + c.MMIODecode +
-		2*b.hostLeg() + c.IBRS + 2*c.PVMExcRTExtra)
+	k.Phase("exc_trap", c.ExcTrap)
+	k.Phase("spt_instr_emu", c.SPTInstrEmu)
+	k.Phase("mmio_decode", c.MMIODecode)
+	b.chargeHostLeg(k, 2)
+	k.Phase("ibrs", c.IBRS)
+	k.Phase("pvm_exc_rt_extra", 2*c.PVMExcRTExtra)
 	_, err := b.c.Host.Hypercall(k.Clk, host.HcVirtioKick)
 	return err
 }

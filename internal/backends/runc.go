@@ -24,22 +24,23 @@ func (b *runcPV) guestMemory() *mem.PhysMem  { return b.c.HostMem }
 func (b *runcPV) boot(k *guest.Kernel) error { return nil }
 
 func (b *runcPV) SyscallEnter(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.HostSyscallExtra)
+	k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+	k.Phase("host_syscall_extra", b.c.Costs.HostSyscallExtra)
 	k.CPU.SetMode(hw.ModeKernel)
 }
 
 func (b *runcPV) SyscallExit(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.SysretExit)
+	k.Phase("sysret_exit", b.c.Costs.SysretExit)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
 func (b *runcPV) FaultEnter(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.ExcTrap)
+	k.Phase("exc_trap", b.c.Costs.ExcTrap)
 	k.CPU.SetMode(hw.ModeKernel)
 }
 
 func (b *runcPV) FaultExit(k *guest.Kernel) {
-	k.Clk.Advance(b.c.Costs.Iret)
+	k.Phase("iret", b.c.Costs.Iret)
 	k.CPU.SetMode(hw.ModeUser)
 }
 
@@ -64,14 +65,14 @@ func (b *runcPV) RetirePTP(k *guest.Kernel, as *guest.AddrSpace, ptp mem.PFN) er
 }
 
 func (b *runcPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
-	k.Clk.Advance(b.c.Costs.PTEWrite)
+	k.Phase("pte_write", b.c.Costs.PTEWrite)
 	pagetable.WriteEntry(b.c.HostMem, ptp, idx, v)
 	return nil
 }
 
 func (b *runcPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
 	// AMD EPYC with PTI off: a bare CR3 write with a PCID tag.
-	k.Clk.Advance(b.c.Costs.PTSwitchNoPTI)
+	k.Phase("pt_switch", b.c.Costs.PTSwitchNoPTI)
 	mode := k.CPU.Mode()
 	k.CPU.SetMode(hw.ModeKernel)
 	defer k.CPU.SetMode(mode)
@@ -98,7 +99,8 @@ func (b *runcPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, err
 	// syscalls. Model as a direct host-kernel call.
 	k.CPU.SetMode(hw.ModeKernel)
 	defer k.CPU.SetMode(hw.ModeUser)
-	k.Clk.Advance(b.c.Costs.SyscallTrap + b.c.Costs.SysretExit)
+	k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+	k.Phase("sysret_exit", b.c.Costs.SysretExit)
 	return b.c.Host.Hypercall(k.Clk, nr, args...)
 }
 
@@ -124,30 +126,33 @@ func (b *runcPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) 
 			k.CPU.SetMode(hw.ModeKernel)
 			defer k.CPU.SetMode(mode)
 			for _, t := range targets {
-				k.Clk.Advance(b.c.Costs.IPISend)
+				k.Phase("ipi_send", b.c.Costs.IPISend)
 				if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
 					return f
 				}
 			}
 			return nil
 		},
+		RemotePhases: nativeRemotePhases(b.c.Costs),
 	})
 }
 
 func (b *runcPV) DeliverVirtIRQ(k *guest.Kernel) {
 	// Native IRQ: delivery, host handler, iret.
-	k.Clk.Advance(b.c.Costs.InterruptDeliver + b.c.Costs.Iret)
+	k.Phase("interrupt_deliver", b.c.Costs.InterruptDeliver)
+	k.Phase("iret", b.c.Costs.Iret)
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorVirtIO)
 }
 
 func (b *runcPV) DeliverTimerIRQ(k *guest.Kernel) {
 	// Native tick: delivery, host handler, iret.
-	k.Clk.Advance(b.c.Costs.InterruptDeliver + b.c.Costs.Iret)
+	k.Phase("interrupt_deliver", b.c.Costs.InterruptDeliver)
+	k.Phase("iret", b.c.Costs.Iret)
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorTimer)
 }
 
 func (b *runcPV) VirtioKick(k *guest.Kernel) error {
 	// No virtualized I/O: the "kick" is the host driver's doorbell.
-	k.Clk.Advance(b.c.Costs.MemRef)
+	k.Phase("mem_ref", b.c.Costs.MemRef)
 	return nil
 }

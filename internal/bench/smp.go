@@ -10,7 +10,9 @@ import (
 	"repro/internal/des"
 	"repro/internal/guest"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mmu"
+	"repro/internal/trace"
 )
 
 // The SMP experiment: every runtime booted at 1/2/4/8 vCPUs on the
@@ -27,6 +29,10 @@ const SMPSeed = 0x50c1a1
 
 // SMPVCPUCounts are the core counts each runtime is measured at.
 var SMPVCPUCounts = []int{1, 2, 4, 8}
+
+// smpServiceReqs is how many requests the 1-vCPU service-time window
+// averages over (and how many the breakdown attribution covers).
+const smpServiceReqs = 16
 
 // SMPRow is one (runtime, vCPU count) measurement.
 type SMPRow struct {
@@ -68,6 +74,13 @@ func smpRequest(k *guest.Kernel) error {
 // RunSMP executes the SMP experiment. Deterministic: same scale, same
 // report, byte for byte.
 func RunSMP(scale int, seed uint64) (*SMPReport, error) {
+	return runSMP(scale, seed, nil)
+}
+
+// runSMP drives the experiment, optionally capturing spans and metrics
+// into prof. The observers never advance the virtual clock, so the
+// returned report is byte-identical with and without prof.
+func runSMP(scale int, seed uint64, prof *SMPProfile) (*SMPReport, error) {
 	specs := []struct {
 		kind backends.Kind
 		opts backends.Options
@@ -90,6 +103,15 @@ func RunSMP(scale int, seed uint64) (*SMPReport, error) {
 			if err != nil {
 				return nil, fmt.Errorf("smp: boot %v x%d: %w", s.kind, n, err)
 			}
+			var rec *trace.SpanRecorder
+			var run *SMPRun
+			if prof != nil {
+				rec = trace.NewSpanRecorder(c.Clk)
+				fm := metrics.NewFlowMetrics(prof.reg,
+					metrics.L("runtime", c.Name), metrics.L("vcpus", itoa(n)))
+				c.Observe(rec, fm)
+				run = &SMPRun{Runtime: c.Name, VCPUs: n}
+			}
 			// Warm the allocator and page tables off the clock reading.
 			for i := 0; i < 4; i++ {
 				if err := smpRequest(c.K); err != nil {
@@ -99,13 +121,16 @@ func RunSMP(scale int, seed uint64) (*SMPReport, error) {
 			if n == 1 {
 				// Base per-request service time, free of shootdowns.
 				start := c.Clk.Now()
-				const m = 16
-				for i := 0; i < m; i++ {
+				for i := 0; i < smpServiceReqs; i++ {
 					if err := smpRequest(c.K); err != nil {
 						return nil, err
 					}
 				}
-				service = (c.Clk.Now() - start) / m
+				service = (c.Clk.Now() - start) / smpServiceReqs
+				if run != nil {
+					run.ServiceLoPs = int64(start)
+					run.ServiceHiPs = int64(c.Clk.Now())
+				}
 			}
 			// Drive the container across all its vCPUs so every unmap
 			// broadcasts to warm sibling TLBs.
@@ -130,6 +155,15 @@ func RunSMP(scale int, seed uint64) (*SMPReport, error) {
 				row.ShootdownNs = float64(shoot) / float64(clock.Nanosecond)
 				row.Shootdowns = e.Stats.Shootdowns
 				row.IPIsSent = e.Stats.IPIsSent
+				if run != nil {
+					run.Shootdowns = e.Stats.Shootdowns
+					run.ShootdownTotalPs = int64(e.Stats.TotalLatency)
+				}
+			}
+			if prof != nil {
+				run.Spans = rec.Spans()
+				c.CollectMetrics(prof.reg, metrics.L("vcpus", itoa(n)))
+				prof.Runs = append(prof.Runs, run)
 			}
 			// Closed-loop throughput: one shootdown per retired request
 			// (each unmaps one resident page); siblings lose roughly the
@@ -145,6 +179,12 @@ func RunSMP(scale int, seed uint64) (*SMPReport, error) {
 				sl.ShootdownEvery = 1
 				sl.ShootdownStall = shoot
 				sl.RemoteStall = shoot / 2
+			}
+			if prof != nil {
+				h := prof.reg.Histogram("smp_request_latency_ns",
+					"Closed-loop response latency in the DES throughput model.", nil,
+					metrics.L("runtime", c.Name), metrics.L("vcpus", itoa(n)))
+				sl.Observe = h.Observe
 			}
 			ops, _, _ := sl.Throughput()
 			row.Throughput = ops
@@ -166,6 +206,12 @@ func ExtSMP(scale int, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return WriteSMPTable(rep, w)
+}
+
+// WriteSMPTable renders an SMP report as the scaling table (shared by
+// ExtSMP and ckibench's artifact mode, which already holds a report).
+func WriteSMPTable(rep *SMPReport, w io.Writer) error {
 	t := NewTable("Multi-core scaling and TLB-shootdown latency (SMP engine)",
 		"runtime", "vCPUs", "service/req", "shootdown", "throughput (op/s)", "speedup")
 	for _, r := range rep.Rows {
@@ -179,7 +225,7 @@ func ExtSMP(scale int, w io.Writer) error {
 	t.Note("every request retires one mapped page, so each one broadcasts a shootdown;")
 	t.Note("CKI's KSM-mediated IPI (one gate hypercall) stays near RunC's native cost,")
 	t.Note("while HVM pays a VM exit per IPI leg and flattens first")
-	_, err = t.WriteTo(w)
+	_, err := t.WriteTo(w)
 	return err
 }
 
@@ -190,6 +236,12 @@ func SMPJSON(scale int, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return WriteSMPReportJSON(rep, w)
+}
+
+// WriteSMPReportJSON writes an already-computed report in the exact
+// encoding of the committed BENCH_smp artifact.
+func WriteSMPReportJSON(rep *SMPReport, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

@@ -5,6 +5,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/hw"
 	"repro/internal/mmu"
+	"repro/internal/trace"
 )
 
 // This file implements the context-switching gates of §4.2 (Fig. 8):
@@ -26,6 +27,21 @@ type Gate struct {
 	MMU *mmu.Unit
 	// VCPU is the index of the virtual CPU this gate instance serves.
 	VCPU int
+	// Rec, when non-nil, records per-leg gate spans (nil-safe; never
+	// advances the clock).
+	Rec *trace.SpanRecorder
+}
+
+// phase charges d under a named span (plain Advance without a
+// recorder, so attribution never changes gate cost).
+func (g *Gate) phase(name string, d clock.Time) {
+	if g.Rec == nil {
+		g.Clk.Advance(d)
+		return
+	}
+	id := g.Rec.Begin(name)
+	g.Clk.Advance(d)
+	g.Rec.End(id)
 }
 
 // touchPerVCPU performs the gate's stack switch: an access to the
@@ -44,8 +60,10 @@ func (g *Gate) touchPerVCPU() *hw.Fault {
 // of Fig. 8a, secure-stack switch, service, and the reverse transition.
 func (g *Gate) Call(fn func() error) error {
 	g.KSM.Stats.GateCalls++
+	span := g.Rec.Begin("ksm_call")
+	defer g.Rec.End(span)
 	// Entry leg: wrpkrs $0 + check.
-	g.Clk.Advance(g.Costs.WrPKRSLeg)
+	g.phase("wrpkrs_leg", g.Costs.WrPKRSLeg)
 	if flt := g.CPU.Wrpkrs(0); flt != nil {
 		return flt
 	}
@@ -61,7 +79,7 @@ func (g *Gate) Call(fn func() error) error {
 	// Exit leg: wrpkrs $PKRS_GUEST + check. An attacker who jumps to
 	// this trailing wrpkrs with a chosen register value is caught by
 	// the comparison against the gate's constant (Fig. 8a).
-	g.Clk.Advance(g.Costs.WrPKRSLeg)
+	g.phase("wrpkrs_leg", g.Costs.WrPKRSLeg)
 	if flt := g.CPU.Wrpkrs(PKRSGuest); flt != nil {
 		return flt
 	}
@@ -122,7 +140,16 @@ func (s *Switcher) hypercallCost() clock.Time {
 func (s *Switcher) Hypercall(nr int, args ...uint64) (uint64, error) {
 	g := s.Gate
 	g.KSM.Stats.Hypercalls++
-	g.Clk.Advance(s.hypercallCost())
+	span := g.Rec.Begin("switcher_hypercall")
+	defer g.Rec.End(span)
+	g.phase("wrpkrs_leg", 2*g.Costs.WrPKRSLeg)
+	g.phase("regs_swap", 2*g.Costs.RegsSwap)
+	g.phase("pt_switch", 2*g.Costs.PTSwitch)
+	g.phase("ibrs", g.Costs.IBRS)
+	g.phase("hostcall_dispatch", g.Costs.HostcallDispatch)
+	if s.NestedExtra > 0 {
+		g.phase("nested_extra", s.NestedExtra)
+	}
 	if flt := g.CPU.Wrpkrs(0); flt != nil {
 		return 0, flt
 	}
@@ -185,13 +212,15 @@ func (s *Switcher) InstallIDT(vectors ...int) error {
 // dies (§4.4).
 func (s *Switcher) interruptGateBody(f *hw.Frame) {
 	g := s.Gate
-	g.Clk.Advance(g.Costs.InterruptDeliver)
+	g.phase("interrupt_deliver", g.Costs.InterruptDeliver)
 	if flt := g.touchPerVCPU(); flt != nil {
 		s.forged = flt
 		return
 	}
 	// exit_to_host: full switch, host IRQ handling, switch back.
-	g.Clk.Advance(2*g.Costs.RegsSwap + 2*g.Costs.PTSwitch + g.Costs.IBRS)
+	g.phase("regs_swap", 2*g.Costs.RegsSwap)
+	g.phase("pt_switch", 2*g.Costs.PTSwitch)
+	g.phase("ibrs", g.Costs.IBRS)
 	guestRoot, guestPCID := g.CPU.CR3(), g.CPU.PCID()
 	if flt := g.CPU.WriteCR3(s.Host.Root, s.HostPCID); flt != nil {
 		s.forged = flt
@@ -219,7 +248,7 @@ func (s *Switcher) HardwareInterrupt(vector int) error {
 	if s.forged != nil {
 		return s.forged
 	}
-	g.Clk.Advance(g.Costs.Iret)
+	g.phase("iret", g.Costs.Iret)
 	if flt := g.CPU.Iret(frame); flt != nil {
 		return flt
 	}

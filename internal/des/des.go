@@ -174,6 +174,11 @@ type SMPLoop struct {
 	RemoteStall    clock.Time
 	// Horizon is the measured interval.
 	Horizon clock.Time
+	// Observe, when non-nil, is called once per completed request with
+	// its response latency (arrival to completion). A pure observation
+	// hook: it cannot influence the simulation, so attaching it changes
+	// no result.
+	Observe func(latency clock.Time)
 }
 
 // Throughput runs the loop and returns completed requests per virtual
@@ -212,6 +217,9 @@ func (sl SMPLoop) Throughput() (opsPerSec float64, meanLatency clock.Time, shoot
 			s.At(done, func(now clock.Time) {
 				completed++
 				totalLat += now - r.arrived
+				if sl.Observe != nil {
+					sl.Observe(now - r.arrived)
+				}
 				if sl.ShootdownEvery > 0 && completed%sl.ShootdownEvery == 0 {
 					shootdowns++
 					nextFree[core] += sl.ShootdownStall

@@ -22,6 +22,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/interrupt"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
 	"repro/internal/trace"
@@ -178,6 +179,15 @@ type Kernel struct {
 	// Trace, when non-nil, records the flow timeline (see -trace on
 	// cmd/ckirun). A nil ring is a no-op.
 	Trace *trace.Ring
+	// Spans, when non-nil, records hierarchical phase spans for cycle
+	// attribution; Met, when non-nil, feeds the flow histograms. Both
+	// are nil-safe and never advance the clock, so enabling them does
+	// not change any flow's virtual cost.
+	Spans *trace.SpanRecorder
+	Met   *metrics.FlowMetrics
+	// VCPU is the virtual CPU this kernel currently runs on (0 on a
+	// single-core machine; updated by Container.MigrateVCPU).
+	VCPU int
 	// VIC is the virtual interrupt controller; its enabled bit is the
 	// in-memory cli/sti replacement of §4.1, visible to the host.
 	VIC *interrupt.Controller
@@ -329,6 +339,25 @@ func (e Errno) Error() string {
 // charge advances the kernel's virtual clock.
 func (k *Kernel) charge(d clock.Time) { k.Clk.Advance(d) }
 
+// Phase charges d to the clock attributed to a named phase span. With
+// no span recorder attached it is exactly charge(d): splitting one
+// composite advance into per-phase advances never changes the total.
+func (k *Kernel) Phase(name string, d clock.Time) {
+	if k.Spans == nil {
+		k.Clk.Advance(d)
+		return
+	}
+	id := k.Spans.Begin(name)
+	k.Clk.Advance(d)
+	k.Spans.End(id)
+}
+
+// SpanBegin opens a named span on the attached recorder (-1 if none).
+func (k *Kernel) SpanBegin(name string) int { return k.Spans.Begin(name) }
+
+// SpanEnd closes a span opened with SpanBegin.
+func (k *Kernel) SpanEnd(id int) { k.Spans.End(id) }
+
 // record emits a trace event spanning [start, now).
 func (k *Kernel) record(kind trace.Kind, start clock.Time) {
 	if k.Trace == nil {
@@ -338,5 +367,5 @@ func (k *Kernel) record(kind trace.Kind, start clock.Time) {
 	if k.Cur != nil {
 		pid = k.Cur.PID
 	}
-	k.Trace.Record(trace.Event{At: start, Dur: k.Clk.Now() - start, Kind: kind, PID: pid})
+	k.Trace.Record(trace.Event{At: start, Dur: k.Clk.Now() - start, Kind: kind, PID: pid, VCPU: k.VCPU})
 }

@@ -352,7 +352,7 @@ func (k *Kernel) Brk(p *Proc, newBrk uint64) (uint64, error) {
 // runtime's handler cost, validates the VMA, allocates and maps the
 // page, and counts the fault. Protection violations return EFAULT.
 func (k *Kernel) HandleUserFault(p *Proc, va uint64, write bool) error {
-	k.charge(k.PV.PFHandlerCost(k))
+	k.Phase("pf_handler", k.PV.PFHandlerCost(k))
 	v := p.AS.FindVMA(va)
 	if v == nil {
 		k.Stats.ProtFaults++
@@ -384,7 +384,7 @@ func (k *Kernel) HandleUserFault(p *Proc, va uint64, write bool) error {
 		if err != nil {
 			return ENOMEM
 		}
-		k.charge(costPageZero)
+		k.Phase("page_zero", costPageZero)
 		if err := mp.Map(base, pfn, protFlags(v.Prot), 0); err != nil {
 			return fmt.Errorf("guest: map: %w", err)
 		}
@@ -394,7 +394,7 @@ func (k *Kernel) HandleUserFault(p *Proc, va uint64, write bool) error {
 		// The page-cache page is mapped directly (no copy); the extra
 		// charge is the runtime-specific population overhead.
 		k.Stats.FileBackedPFs++
-		k.charge(k.PV.FileBackedFaultExtra(k))
+		k.Phase("file_extra", k.PV.FileBackedFaultExtra(k))
 	}
 	return nil
 }
@@ -407,6 +407,20 @@ func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
 	if k.dead {
 		return EKERNELDIED
 	}
+	span := k.Spans.Begin("access")
+	err := k.touch(va, acc)
+	k.Spans.End(span)
+	if err == nil {
+		k.maybePreempt()
+	}
+	return err
+}
+
+// touch is the Touch body: the access plus up to two fault-and-retry
+// rounds, with the enclosing "access" span managed by the caller (the
+// preemption check runs after the span closes, so a tick is its own
+// root, not access time).
+func (k *Kernel) touch(va uint64, acc mmu.Access) error {
 	for try := 0; try < 3; try++ {
 		// Re-read the current process each attempt: a timer tick may
 		// have rescheduled between retries, and the faulting process is
@@ -414,23 +428,26 @@ func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
 		p := k.Cur
 		flt := k.PV.UserAccess(k, p.AS, va, acc)
 		if flt == nil {
-			k.maybePreempt()
 			return nil
 		}
 		switch flt.Kind {
 		case hw.FaultNotMapped:
 			start := k.Clk.Now()
+			pf := k.Spans.Begin("pagefault")
 			k.PV.FaultEnter(k)
 			if k.fire(faults.DoubleFault) {
 				// The #PF handler faults on its own frame push; the
 				// handler never returns (no FaultExit).
 				k.panicDoubleFault()
+				k.Spans.End(pf)
 				k.record(trace.PageFault, start)
 				return EKERNELDIED
 			}
 			err := k.HandleUserFault(p, va, acc == mmu.Write)
 			k.PV.FaultExit(k)
+			k.Spans.End(pf)
 			k.record(trace.PageFault, start)
+			k.Met.ObservePageFault(k.Clk.Now() - start)
 			if err != nil {
 				if k.dead {
 					return EKERNELDIED
@@ -438,11 +455,13 @@ func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
 				return err
 			}
 		case hw.FaultProtection, hw.FaultPKU:
+			pf := k.Spans.Begin("protfault")
 			k.PV.FaultEnter(k)
 			if acc == mmu.Write {
 				// Copy-on-write resolution first (§ForkCOW).
 				if handled, err := k.handleCOWFault(p, va); handled || err != nil {
 					k.PV.FaultExit(k)
+					k.Spans.End(pf)
 					if err != nil {
 						return err
 					}
@@ -451,6 +470,7 @@ func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
 			}
 			// A registered SIGSEGV handler gets the fault next.
 			if handled, retry := k.deliverSegv(p, va, acc == mmu.Write); handled {
+				k.Spans.End(pf)
 				if retry {
 					continue
 				}
@@ -460,6 +480,7 @@ func (k *Kernel) Touch(va uint64, acc mmu.Access) error {
 			// VMA and the access dies.
 			err := k.HandleUserFault(p, va, acc == mmu.Write)
 			k.PV.FaultExit(k)
+			k.Spans.End(pf)
 			if err != nil {
 				return err
 			}

@@ -280,8 +280,13 @@ func (k *Kernel) pickNext() *Proc {
 // state swap, and the runtime's address-space switch.
 func (k *Kernel) switchTo(p *Proc) error {
 	start := k.Clk.Now()
-	defer k.record(trace.CtxSwitch, start)
-	k.charge(costSchedPick + costRegsSave)
+	span := k.Spans.Begin("ctx_switch")
+	defer func() {
+		k.Spans.End(span)
+		k.record(trace.CtxSwitch, start)
+	}()
+	k.Phase("sched_pick", costSchedPick)
+	k.Phase("regs_save", costRegsSave)
 	prev := k.Cur
 	if prev != nil && !prev.Exited && prev != p {
 		k.runq = append(k.runq, prev)
@@ -319,9 +324,12 @@ func (k *Kernel) SetInterruptsEnabled(on bool) {
 	k.VIC.SetEnabled(on)
 	if on {
 		_ = k.VIC.Drain(func(vector int) error {
+			span := k.Spans.Begin("timer_tick")
 			k.PV.DeliverTimerIRQ(k)
 			k.Stats.TimerTicks++
-			return k.reschedule()
+			err := k.reschedule()
+			k.Spans.End(span)
+			return err
 		})
 	}
 }
@@ -353,11 +361,13 @@ func (k *Kernel) maybePreempt() {
 	}
 	k.Stats.TimerTicks++
 	start := k.Clk.Now()
+	span := k.Spans.Begin("timer_tick")
 	k.PV.DeliverTimerIRQ(k)
 	k.record(trace.TimerTick, start)
 	if err := k.reschedule(); err != nil {
 		panic(fmt.Sprintf("guest: tick reschedule: %v", err))
 	}
+	k.Spans.End(span)
 }
 
 // SwitchToPID forces a context switch to a specific process; the

@@ -21,12 +21,18 @@ func (k *Kernel) syscall(body func() (uint64, error)) (uint64, error) {
 	}
 	k.Stats.Syscalls++
 	start := k.Clk.Now()
+	span := k.Spans.Begin("syscall")
+	done := func() {
+		k.Spans.End(span)
+		k.record(trace.Syscall, start)
+		k.Met.ObserveSyscall(k.Clk.Now() - start)
+	}
 	k.PV.SyscallEnter(k)
 	if k.fire(faults.KernelPF) {
 		// The handler dereferences a bad pointer in kernel mode with no
 		// VMA to back it — the classic CVE-class crash of Fig. 2.
 		k.Panic("unhandled #PF in kernel mode at syscall entry")
-		k.record(trace.Syscall, start)
+		done()
 		return 0, EKERNELDIED
 	}
 	if k.fire(faults.StuckCLI) {
@@ -39,11 +45,11 @@ func (k *Kernel) syscall(body func() (uint64, error)) (uint64, error) {
 	if k.dead {
 		// The body hit a fatal injected fault; there is no kernel left
 		// to run the exit flow.
-		k.record(trace.Syscall, start)
+		done()
 		return 0, EKERNELDIED
 	}
 	k.PV.SyscallExit(k)
-	k.record(trace.Syscall, start)
+	done()
 	k.maybePreempt()
 	return r, err
 }
@@ -347,8 +353,11 @@ func (k *Kernel) Hypercall(nr int, args ...uint64) (uint64, error) {
 	}
 	k.Stats.Hypercalls++
 	start := k.Clk.Now()
+	span := k.Spans.Begin("hypercall")
 	r, err := k.PV.Hypercall(k, nr, args...)
+	k.Spans.End(span)
 	k.record(trace.Hypercall, start)
+	k.Met.ObserveHypercall(k.Clk.Now() - start)
 	return r, err
 }
 
@@ -362,6 +371,6 @@ func (k *Kernel) WriteAt(va uint64) error { return k.Touch(va, mmu.Write) }
 // Compute charges pure user-mode computation time (and lets the timer
 // preempt long-running loops).
 func (k *Kernel) Compute(d clock.Time) {
-	k.charge(d)
+	k.Phase("compute", d)
 	k.maybePreempt()
 }

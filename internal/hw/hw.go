@@ -159,7 +159,26 @@ type CPU struct {
 	// Halted is set by Hlt and cleared by interrupt delivery.
 	Halted bool
 
+	// Ops counts successfully retired privileged instructions, feeding
+	// the metrics registry's per-vCPU instruction-mix gauges. Plain
+	// counters: reading them costs no virtual time.
+	Ops OpCounts
+
 	stackValid bool
+}
+
+// OpCounts tallies the privileged-instruction mix a vCPU retired.
+type OpCounts struct {
+	WriteCR3 uint64
+	Invlpg   uint64
+	Invpcid  uint64
+	WriteICR uint64
+	Syscall  uint64
+	Sysret   uint64
+	Swapgs   uint64
+	Wrpkru   uint64
+	Wrpkrs   uint64
+	Iret     uint64
 }
 
 // CR0 bits the simulator cares about.

@@ -93,6 +93,7 @@ func (c *CPU) WriteCR3(root mem.PFN, pcid uint16) *Fault {
 	}
 	c.cr3 = root
 	c.pcid = pcid
+	c.Ops.WriteCR3++
 	return nil
 }
 
@@ -127,6 +128,7 @@ func (c *CPU) Invlpg(va uint64) *Fault {
 	if f := c.checkPriv("invlpg", false); f != nil {
 		return f
 	}
+	c.Ops.Invlpg++
 	if c.tlbHooks.Invlpg != nil {
 		c.tlbHooks.Invlpg(c.pcid, va)
 	}
@@ -139,6 +141,7 @@ func (c *CPU) Invpcid(pcid uint16) *Fault {
 	if f := c.checkPriv("invpcid", true); f != nil {
 		return f
 	}
+	c.Ops.Invpcid++
 	if c.tlbHooks.Invpcid != nil {
 		c.tlbHooks.Invpcid(pcid)
 	}
@@ -164,6 +167,7 @@ func (c *CPU) WriteICR(target, vector int) *Fault {
 	if f := c.checkPriv("wrmsr(icr)", true); f != nil {
 		return f
 	}
+	c.Ops.WriteICR++
 	if c.ipiHook != nil {
 		c.ipiHook(target, vector)
 	}
@@ -180,6 +184,7 @@ func (c *CPU) Swapgs() *Fault {
 		return f
 	}
 	c.gsBase, c.kernelGS = c.kernelGS, c.gsBase
+	c.Ops.Swapgs++
 	return nil
 }
 
@@ -191,6 +196,7 @@ func (c *CPU) Syscall() *Fault {
 		return &Fault{Kind: FaultGP, Instr: "syscall", Mode: c.mode}
 	}
 	c.mode = ModeKernel
+	c.Ops.Syscall++
 	return nil
 }
 
@@ -207,6 +213,7 @@ func (c *CPU) Sysret(wantIF bool) *Fault {
 	}
 	c.intEnabled = wantIF
 	c.mode = ModeUser
+	c.Ops.Sysret++
 	return nil
 }
 
@@ -280,7 +287,10 @@ func (c *CPU) Smsw() (uint64, *Fault) {
 // --- protection keys -------------------------------------------------------------
 
 // Wrpkru writes PKRU; it is unprivileged, as on stock hardware.
-func (c *CPU) Wrpkru(v PKReg) { c.pkru = v }
+func (c *CPU) Wrpkru(v PKReg) {
+	c.pkru = v
+	c.Ops.Wrpkru++
+}
 
 // Wrpkrs is CKI's new instruction: it writes PKRS from kernel mode
 // without the MSR path, so the guest kernel can enter the KSM without
@@ -294,6 +304,7 @@ func (c *CPU) Wrpkrs(v PKReg) *Fault {
 		return &Fault{Kind: FaultGP, Instr: "wrpkrs (unsupported)", Mode: c.mode}
 	}
 	c.pkrs = v
+	c.Ops.Wrpkrs++
 	return nil
 }
 

@@ -157,6 +157,7 @@ func (c *CPU) Iret(f *Frame) *Fault {
 	}
 	c.mode = f.SavedMode
 	c.intEnabled = f.SavedIF
+	c.Ops.Iret++
 	if c.PKSExt {
 		// Extension (§4.2): iret may modify PKRS, restoring the value
 		// saved at delivery so the return to a deprivileged guest needs

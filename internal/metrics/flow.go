@@ -1,0 +1,57 @@
+package metrics
+
+import "repro/internal/clock"
+
+// FlowMetrics bundles the per-container latency histograms the guest
+// kernel feeds on its hot paths. A nil *FlowMetrics is a valid no-op,
+// so the kernel's fast path stays branch-plus-return when metrics are
+// disabled.
+type FlowMetrics struct {
+	SyscallLat   *Histogram
+	PageFaultLat *Histogram
+	HypercallLat *Histogram
+	ShootdownLat *Histogram
+}
+
+// NewFlowMetrics registers the flow histograms under the given labels
+// (typically runtime and container).
+func NewFlowMetrics(reg *Registry, labels ...Label) *FlowMetrics {
+	return &FlowMetrics{
+		SyscallLat: reg.Histogram("syscall_latency_ns",
+			"End-to-end guest syscall latency.", nil, labels...),
+		PageFaultLat: reg.Histogram("pagefault_latency_ns",
+			"Guest page-fault handling latency (trap to iret).", nil, labels...),
+		HypercallLat: reg.Histogram("hypercall_latency_ns",
+			"Guest hypercall latency.", nil, labels...),
+		ShootdownLat: reg.Histogram("shootdown_latency_ns",
+			"Initiator-side TLB shootdown latency.", nil, labels...),
+	}
+}
+
+// ObserveSyscall records one syscall latency.
+func (m *FlowMetrics) ObserveSyscall(d clock.Time) {
+	if m != nil {
+		m.SyscallLat.Observe(d)
+	}
+}
+
+// ObservePageFault records one page-fault latency.
+func (m *FlowMetrics) ObservePageFault(d clock.Time) {
+	if m != nil {
+		m.PageFaultLat.Observe(d)
+	}
+}
+
+// ObserveHypercall records one hypercall latency.
+func (m *FlowMetrics) ObserveHypercall(d clock.Time) {
+	if m != nil {
+		m.HypercallLat.Observe(d)
+	}
+}
+
+// ObserveShootdown records one initiator-side shootdown latency.
+func (m *FlowMetrics) ObserveShootdown(d clock.Time) {
+	if m != nil {
+		m.ShootdownLat.Observe(d)
+	}
+}

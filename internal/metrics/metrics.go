@@ -1,0 +1,389 @@
+// Package metrics is a deterministic, dependency-free metrics registry
+// for the simulator: typed counters, gauges, and virtual-time
+// histograms with label sets, a Prometheus-style text exposition, and
+// a JSON snapshot. All observed times come from the virtual clock and
+// all output is sorted, so two runs of the same seeded workload emit
+// byte-identical artifacts. A nil registry or instrument is a valid
+// no-op, and no method ever advances the clock, so disabled metrics
+// cost zero virtual cycles.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Label is one key=value dimension on a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+var kindNames = [...]string{"counter", "gauge", "histogram"}
+
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   familyKind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds metric families in creation order. The zero value is
+// not usable; call NewRegistry. A nil *Registry hands out nil
+// instruments, which are valid no-ops.
+type Registry struct {
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind familyKind) *family {
+	f, ok := r.byName[name]
+	if ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s and %s",
+				name, kindNames[f.kind], kindNames[kind]))
+		}
+		return f
+	}
+	f = &family{name: name, help: help, kind: kind, byKey: map[string]*series{}}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	labels = sortLabels(labels)
+	key := labelKey(labels)
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := &series{labels: labels}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter is a monotonically increasing uint64. Nil-safe.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a settable float64. Nil-safe.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a virtual-time latency distribution with fixed
+// nanosecond upper bounds. Nil-safe.
+type Histogram struct {
+	bounds []int64 // ns, ascending
+	counts []uint64
+	inf    uint64
+	sum    clock.Time
+	n      uint64
+}
+
+// DefaultLatencyBuckets covers the simulator's flow latencies
+// (hundreds of ns to tens of µs), in nanoseconds.
+var DefaultLatencyBuckets = []int64{
+	64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d clock.Time) {
+	if h == nil {
+		return
+	}
+	h.sum += d
+	h.n++
+	// Compare in picoseconds with integer math — float conversion here
+	// could round a boundary sample into the wrong bucket.
+	ps := int64(d)
+	for i, ub := range h.bounds {
+		if ps <= ub*1000 {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the total observed virtual time (0 on nil).
+func (h *Histogram) Sum() clock.Time {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Counter registers (or finds) a counter series. Nil-safe: a nil
+// registry returns a nil counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.family(name, help, kindCounter).get(labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.family(name, help, kindGauge).get(labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// nanosecond bucket bounds (DefaultLatencyBuckets if nil).
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.family(name, help, kindHistogram).get(labels)
+	if s.h == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets
+		}
+		s.h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+	}
+	return s.h
+}
+
+// fmtNanos renders picoseconds as a decimal nanosecond literal with
+// three fractional digits, integer math only.
+func fmtNanos(ps int64) string {
+	neg := ""
+	if ps < 0 {
+		neg, ps = "-", -ps
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ps/1000, ps%1000)
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteProm writes the registry in Prometheus text exposition format.
+// Families appear in creation order; series are sorted by label key,
+// so the output is byte-stable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, f.help, f.name, kindNames[f.kind]); err != nil {
+			return err
+		}
+		srs := append([]*series(nil), f.series...)
+		sort.Slice(srs, func(i, j int) bool {
+			return labelKey(srs[i].labels) < labelKey(srs[j].labels)
+		})
+		for _, s := range srs {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, promLabels(s.labels), s.g.Value())
+			case kindHistogram:
+				var cum uint64
+				for i, ub := range s.h.bounds {
+					cum += s.h.counts[i]
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						promLabels(s.labels, L("le", fmt.Sprintf("%d", ub))), cum); err != nil {
+						return err
+					}
+				}
+				cum += s.h.inf
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					promLabels(s.labels, L("le", "+Inf")), cum); err != nil {
+					return err
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+					promLabels(s.labels), fmtNanos(int64(s.h.sum))); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), s.h.n)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SeriesSnapshot is one series in a JSON snapshot. encoding/json sorts
+// the Labels map keys, keeping the bytes deterministic.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	SumNs  *int64            `json:"sum_ns,omitempty"`
+	Bounds []int64           `json:"buckets_ns,omitempty"`
+	Counts []uint64          `json:"bucket_counts,omitempty"`
+	Inf    *uint64           `json:"inf_count,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a JSON snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is the full registry state, JSON-ready.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot captures the registry for JSON export.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{Families: []FamilySnapshot{}}
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.families {
+		fs := FamilySnapshot{Name: f.name, Kind: kindNames[f.kind], Help: f.help,
+			Series: []SeriesSnapshot{}}
+		srs := append([]*series(nil), f.series...)
+		sort.Slice(srs, func(i, j int) bool {
+			return labelKey(srs[i].labels) < labelKey(srs[j].labels)
+		})
+		for _, s := range srs {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = map[string]string{}
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				v := float64(s.c.Value())
+				ss.Value = &v
+			case kindGauge:
+				v := s.g.Value()
+				ss.Value = &v
+			case kindHistogram:
+				n := s.h.n
+				sum := int64(s.h.sum) / 1000
+				inf := s.h.inf
+				ss.Count = &n
+				ss.SumNs = &sum
+				ss.Bounds = s.h.bounds
+				ss.Counts = s.h.counts
+				ss.Inf = &inf
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// JSON renders the snapshot as deterministic indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

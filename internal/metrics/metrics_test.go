@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// Disabled metrics are nil instruments from a nil registry: every
+// operation must be a safe no-op.
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "help")
+	g := r.Gauge("x_ratio", "help")
+	h := r.Histogram("x_ns", "help", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1.5)
+	h.Observe(clock.FromNanos(100))
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if err := r.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteProm: %v", err)
+	}
+	if snap := r.Snapshot(); len(snap.Families) != 0 {
+		t.Errorf("nil Snapshot has %d families", len(snap.Families))
+	}
+	var fm *FlowMetrics
+	fm.ObserveSyscall(10)
+	fm.ObservePageFault(10)
+	fm.ObserveHypercall(10)
+	fm.ObserveShootdown(10)
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", L("runtime", "cki"))
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	// Same name + labels resolves to the same series.
+	if c2 := r.Counter("reqs_total", "requests", L("runtime", "cki")); c2 != c {
+		t.Error("re-registration returned a different series")
+	}
+	// Label order must not matter.
+	g := r.Gauge("ratio", "r", L("a", "1"), L("b", "2"))
+	if g2 := r.Gauge("ratio", "r", L("b", "2"), L("a", "1")); g2 != g {
+		t.Error("label order changed series identity")
+	}
+	g.Set(0.5)
+	if g.Value() != 0.5 {
+		t.Errorf("gauge = %g, want 0.5", g.Value())
+	}
+}
+
+// Bucketing is integer picosecond math: a sample exactly on a bound
+// lands in that bound's bucket, one picosecond over goes to the next.
+func TestHistogramBoundaryBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", []int64{64, 128})
+	h.Observe(clock.FromNanos(64))     // exactly 64ns -> bucket 0
+	h.Observe(clock.FromNanos(64) + 1) // 64ns + 1ps -> bucket 1
+	h.Observe(clock.FromNanos(128))    // exactly 128ns -> bucket 1
+	h.Observe(clock.FromNanos(500))    // overflow -> +Inf
+	if h.counts[0] != 1 || h.counts[1] != 2 || h.inf != 1 {
+		t.Errorf("buckets = %v inf=%d, want [1 2] 1", h.counts, h.inf)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	want := clock.FromNanos(64) + clock.FromNanos(64) + 1 +
+		clock.FromNanos(128) + clock.FromNanos(500)
+	if h.Sum() != want {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", nil)
+	if len(h.bounds) != len(DefaultLatencyBuckets) {
+		t.Errorf("got %d bounds, want %d", len(h.bounds), len(DefaultLatencyBuckets))
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "h")
+	r.Gauge("x", "h")
+}
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("guest_syscalls_total", "Syscalls served.", L("runtime", "CKI-BM")).Add(7)
+	r.Gauge("tlb_hit_ratio", "Hit ratio.", L("runtime", "CKI-BM"), L("pcid", "1")).Set(0.875)
+	h := r.Histogram("syscall_latency_ns", "Syscall latency.", []int64{64, 128},
+		L("runtime", "CKI-BM"))
+	h.Observe(clock.FromNanos(90))
+	h.Observe(clock.FromNanos(90))
+	h.Observe(clock.FromNanos(336))
+	return r
+}
+
+func TestWritePromFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP guest_syscalls_total Syscalls served.
+# TYPE guest_syscalls_total counter
+guest_syscalls_total{runtime="CKI-BM"} 7
+# HELP tlb_hit_ratio Hit ratio.
+# TYPE tlb_hit_ratio gauge
+tlb_hit_ratio{pcid="1",runtime="CKI-BM"} 0.875
+# HELP syscall_latency_ns Syscall latency.
+# TYPE syscall_latency_ns histogram
+syscall_latency_ns_bucket{runtime="CKI-BM",le="64"} 0
+syscall_latency_ns_bucket{runtime="CKI-BM",le="128"} 2
+syscall_latency_ns_bucket{runtime="CKI-BM",le="+Inf"} 3
+syscall_latency_ns_sum{runtime="CKI-BM"} 516.000
+syscall_latency_ns_count{runtime="CKI-BM"} 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteProm:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Two identically-fed registries must snapshot to the same bytes, and
+// the snapshot must survive a parse round trip.
+func TestSnapshotDeterminismAndRoundTrip(t *testing.T) {
+	b1, err := buildRegistry().Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := buildRegistry().Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("snapshots of identical registries differ")
+	}
+	snap, err := ParseSnapshot(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(snap.Families))
+	}
+	hist := snap.Families[2]
+	s := hist.Series[0]
+	if s.Count == nil || *s.Count != 3 || s.SumNs == nil || *s.SumNs != 516 {
+		t.Errorf("histogram series = %+v, want count 3 sum 516ns", s)
+	}
+	if len(s.Bounds) != 2 || s.Counts[0] != 0 || s.Counts[1] != 2 || *s.Inf != 1 {
+		t.Errorf("histogram buckets = %+v", s)
+	}
+	b3, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Error("snapshot JSON not stable across a parse round trip")
+	}
+}
+
+func TestRenderSnapshot(t *testing.T) {
+	snap, err := ParseSnapshot(mustJSON(t, buildRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"guest_syscalls_total (counter) Syscalls served.",
+		"runtime=CKI-BM",
+		"pcid=1 runtime=CKI-BM",
+		"count=3 sum=516ns mean=172.000ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := snap.Render(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("Render not deterministic")
+	}
+}
+
+func mustJSON(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	b, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseSnapshot loads a snapshot written by Snapshot.JSON.
+func ParseSnapshot(b []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, fmt.Errorf("metrics: parse snapshot: %w", err)
+	}
+	return s, nil
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "(no labels)"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render writes the snapshot as a readable listing. Series come back in
+// the snapshot's sorted order and label keys are sorted, so the output
+// is deterministic.
+func (s *Snapshot) Render(w io.Writer) error {
+	for _, f := range s.Families {
+		if _, err := fmt.Fprintf(w, "%s (%s) %s\n", f.Name, f.Kind, f.Help); err != nil {
+			return err
+		}
+		for _, sr := range f.Series {
+			var err error
+			switch {
+			case sr.Count != nil:
+				sum := int64(0)
+				if sr.SumNs != nil {
+					sum = *sr.SumNs
+				}
+				mean := "-"
+				if *sr.Count > 0 {
+					mean = fmtNanos(sum * 1000 / int64(*sr.Count))
+				}
+				_, err = fmt.Fprintf(w, "  %-56s count=%d sum=%dns mean=%sns\n",
+					renderLabels(sr.Labels), *sr.Count, sum, mean)
+			case sr.Value != nil:
+				_, err = fmt.Fprintf(w, "  %-56s %g\n", renderLabels(sr.Labels), *sr.Value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -28,7 +28,9 @@ import (
 	"repro/internal/hw"
 	"repro/internal/interrupt"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mmu"
+	"repro/internal/trace"
 )
 
 // MaxSendAttempts bounds the lost-IPI recovery loop: after this many
@@ -92,6 +94,26 @@ type Engine struct {
 	VCPUs []*VCPU
 	Sched *Scheduler
 	Stats Stats
+
+	// Rec, when non-nil, records shootdown-protocol spans (initiator
+	// legs inline, remote service as async spans). Nil-safe; never
+	// advances the clock.
+	Rec *trace.SpanRecorder
+	// ShootdownLat, when non-nil, observes per-shootdown initiator
+	// latency.
+	ShootdownLat *metrics.Histogram
+}
+
+// phase charges d to the shared clock under a named span (plain
+// Advance when no recorder is attached).
+func (e *Engine) phase(name string, d clock.Time) {
+	if e.Rec == nil {
+		e.Clk.Advance(d)
+		return
+	}
+	id := e.Rec.Begin(name)
+	e.Clk.Advance(d)
+	e.Rec.End(id)
 }
 
 // New builds an engine with n vCPUs over the shared physical memory.
@@ -151,6 +173,13 @@ func (e *Engine) FlushAllTLBs(pred func(pcid uint16) bool) {
 	}
 }
 
+// PhaseCost names one primitive leg of a remote shootdown service
+// (interrupt delivery, invalidation, ack write, return).
+type PhaseCost struct {
+	Name string
+	Cost clock.Time
+}
+
 // ShootdownSpec parameterizes one TLB shootdown with the initiating
 // runtime's native costs.
 type ShootdownSpec struct {
@@ -175,6 +204,11 @@ type ShootdownSpec struct {
 	// on the target beyond the engine-TLB flush (HVM's private vTLBs,
 	// CKI's per-vCPU top-PTP copy refresh).
 	RemoteFlush func(v *VCPU) error
+	// RemotePhases, when non-nil, decomposes the target-side service
+	// latency into named phases for async span emission. The phase
+	// costs must sum to RemoteCost(target) — the profile sum checks
+	// rely on it.
+	RemotePhases func(target int) []PhaseCost
 	// Inj, when non-nil, is consulted per target per attempt at the
 	// faults.IPILost and faults.AckDelay sites.
 	Inj faults.Injector
@@ -189,6 +223,7 @@ type ShootdownSpec struct {
 // whether that wedges the guest for the watchdog.
 func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 	start := e.Clk.Now()
+	root := e.Rec.Begin("shootdown")
 	unacked := make([]int, 0, len(spec.Targets))
 	for _, t := range spec.Targets {
 		if t >= 0 && t < len(e.VCPUs) && t != spec.Initiator {
@@ -199,22 +234,23 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 		if attempt > 0 {
 			// The ack mask is still short: the initiator's spin loop hits
 			// its timeout and re-sends to the silent targets.
-			e.Clk.Advance(e.Costs.ShootdownTimeout)
+			e.phase("shootdown_timeout", e.Costs.ShootdownTimeout)
 			e.Stats.Resends++
 		}
 		if spec.Send != nil {
 			if err := spec.Send(unacked); err != nil {
-				return e.finish(start, unacked)
+				return e.finish(root, start, unacked)
 			}
 		} else {
 			for range unacked {
-				e.Clk.Advance(e.Costs.IPISend)
+				e.phase("ipi_send", e.Costs.IPISend)
 			}
 			for _, t := range unacked {
 				e.Post(t, hw.VectorIPI)
 			}
 		}
 		e.Stats.IPIsSent += uint64(len(unacked))
+		sendDone := e.Clk.Now()
 
 		var maxLat clock.Time
 		still := unacked[:0]
@@ -235,13 +271,16 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 				continue
 			}
 			if err := e.serviceRemote(v, spec); err != nil {
-				return e.finish(start, unacked)
+				return e.finish(root, start, unacked)
 			}
 			lat := e.remoteCost(t, spec)
+			delayed := false
 			if spec.Inj != nil && spec.Inj.Fire(faults.AckDelay) {
 				lat += e.Costs.ShootdownAckDelay
 				e.Stats.DelayedAcks++
+				delayed = true
 			}
+			e.emitRemote(spec, t, sendDone, lat, delayed, root)
 			if lat > maxLat {
 				maxLat = lat
 			}
@@ -249,9 +288,30 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 		unacked = append([]int(nil), still...)
 		// The remotes ran concurrently; the spinning initiator waits for
 		// the slowest ack plus one final poll of the mask.
-		e.Clk.Advance(maxLat + e.Costs.ShootdownPoll)
+		e.phase("ack_spin", maxLat+e.Costs.ShootdownPoll)
 	}
-	return e.finish(start, unacked)
+	return e.finish(root, start, unacked)
+}
+
+// emitRemote records one target's service as an async span at its true
+// wall placement (concurrent with the initiator's ack spin), with the
+// runtime's per-phase decomposition as async children.
+func (e *Engine) emitRemote(spec ShootdownSpec, target int, at, lat clock.Time, delayed bool, parent int) {
+	if e.Rec == nil {
+		return
+	}
+	rs := e.Rec.EmitAt("shootdown_remote", at, lat, target, parent)
+	if spec.RemotePhases == nil {
+		return
+	}
+	cursor := at
+	for _, p := range spec.RemotePhases(target) {
+		e.Rec.EmitAt(p.Name, cursor, p.Cost, target, rs)
+		cursor += p.Cost
+	}
+	if delayed {
+		e.Rec.EmitAt("ack_delay", cursor, e.Costs.ShootdownAckDelay, target, rs)
+	}
 }
 
 // serviceRemote performs the target-side invalidation: the engine-TLB
@@ -282,10 +342,12 @@ func (e *Engine) remoteCost(target int, spec ShootdownSpec) clock.Time {
 	return c.InterruptDeliver + inval + c.IPIAck + c.Iret
 }
 
-func (e *Engine) finish(start clock.Time, unacked []int) (clock.Time, error) {
+func (e *Engine) finish(span int, start clock.Time, unacked []int) (clock.Time, error) {
+	e.Rec.End(span)
 	e.Stats.Shootdowns++
 	lat := e.Clk.Now() - start
 	e.Stats.TotalLatency += lat
+	e.ShootdownLat.Observe(lat)
 	if len(unacked) > 0 {
 		e.Stats.HungInitiators++
 		return lat, ErrShootdownHung

@@ -8,6 +8,8 @@
 package tlb
 
 import (
+	"sort"
+
 	"repro/internal/mem"
 )
 
@@ -35,6 +37,15 @@ type Stats struct {
 	Evicts  uint64
 }
 
+// PCIDStat is the per-context slice of the hit/miss counters. The
+// high byte of a guest PCID encodes the container, so these rows let
+// the metrics registry attribute TLB behaviour per container context.
+type PCIDStat struct {
+	PCID   uint16
+	Hits   uint64
+	Misses uint64
+}
+
 // TLB is a finite, PCID-tagged TLB with FIFO replacement. The zero
 // value is unusable; use New.
 type TLB struct {
@@ -42,6 +53,7 @@ type TLB struct {
 	entries  map[key]Entry
 	fifo     []key
 	stats    Stats
+	perPCID  map[uint16]*PCIDStat
 }
 
 // DefaultCapacity approximates a modern L2 STLB (entries).
@@ -56,14 +68,41 @@ func New(capacity int) *TLB {
 	return &TLB{
 		capacity: capacity,
 		entries:  make(map[key]Entry, capacity),
+		perPCID:  make(map[uint16]*PCIDStat),
 	}
 }
 
 // Stats returns a copy of the event counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
-// ResetStats zeroes the counters.
-func (t *TLB) ResetStats() { t.stats = Stats{} }
+// ResetStats zeroes the counters (aggregate and per-PCID).
+func (t *TLB) ResetStats() {
+	t.stats = Stats{}
+	t.perPCID = make(map[uint16]*PCIDStat)
+}
+
+func (t *TLB) pcidStat(pcid uint16) *PCIDStat {
+	if t.perPCID == nil {
+		t.perPCID = make(map[uint16]*PCIDStat)
+	}
+	st, ok := t.perPCID[pcid]
+	if !ok {
+		st = &PCIDStat{PCID: pcid}
+		t.perPCID[pcid] = st
+	}
+	return st
+}
+
+// PCIDStats returns the per-context counters, sorted by PCID so output
+// built from them is deterministic.
+func (t *TLB) PCIDStats() []PCIDStat {
+	out := make([]PCIDStat, 0, len(t.perPCID))
+	for _, st := range t.perPCID {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PCID < out[j].PCID })
+	return out
+}
 
 func vpn4k(va uint64) uint64 { return va >> mem.PageShift }
 func vpn2m(va uint64) uint64 { return va >> 21 }
@@ -73,13 +112,16 @@ func vpn2m(va uint64) uint64 { return va >> 21 }
 func (t *TLB) Lookup(pcid uint16, va uint64) (Entry, bool) {
 	if e, ok := t.entries[key{pcid, vpn4k(va)}]; ok && !e.Huge {
 		t.stats.Hits++
+		t.pcidStat(pcid).Hits++
 		return e, true
 	}
 	if e, ok := t.entries[key{pcid, vpn2m(va) | 1<<63}]; ok {
 		t.stats.Hits++
+		t.pcidStat(pcid).Hits++
 		return e, true
 	}
 	t.stats.Misses++
+	t.pcidStat(pcid).Misses++
 	return Entry{}, false
 }
 

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chrome trace-event JSON export (the format chrome://tracing and
+// Perfetto load). One "process" per track set (a runtime run), one
+// "thread" per vCPU, complete ("X") events with microsecond
+// timestamps. The JSON is built by hand with integer math only, so the
+// bytes are identical across runs of the same seeded workload.
+
+// TrackSet is one process row in the exported trace: a named run
+// (e.g. "cki 8vcpu") and its spans.
+type TrackSet struct {
+	Name  string
+	Spans []Span
+}
+
+// chromeMicros renders picoseconds as a decimal microsecond literal
+// with fixed six-digit fraction (1 ps resolution) using integer math.
+func chromeMicros(ps int64) string {
+	return fmt.Sprintf("%d.%06d", ps/1e6, ps%1e6)
+}
+
+func chromeEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// ChromeTrace serialises track sets as a trace-event JSON document.
+func ChromeTrace(tracks []TrackSet) []byte {
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	for pid, t := range tracks {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"%s"}}`,
+			pid, chromeEscape(t.Name)))
+		// Name each vCPU thread that actually carries spans.
+		seen := map[int]bool{}
+		for _, s := range t.Spans {
+			if !seen[s.VCPU] {
+				seen[s.VCPU] = true
+				emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"vcpu %d"}}`,
+					pid, s.VCPU, s.VCPU))
+			}
+			cat := "flow"
+			if s.Async {
+				cat = "remote"
+			}
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s","cat":"%s","args":{"guest_pid":%d}}`,
+				pid, s.VCPU, chromeMicros(int64(s.At)), chromeMicros(int64(s.Dur)),
+				chromeEscape(s.Phase), cat, s.PID))
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return []byte(b.String())
+}

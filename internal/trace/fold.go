@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Cost-attribution folds: collapse a span list into a per-phase tree
+// (the shape behind the paper's Table 2) and into folded-stack lines
+// (the flamegraph input format: "root;child;leaf <self-time>").
+
+// Node is one phase in the folded cost tree. Total is inclusive
+// (phase plus descendants); Self() is the exclusive remainder.
+type Node struct {
+	Phase    string
+	Count    uint64
+	Total    clock.Time
+	Children []*Node
+
+	index map[string]*Node
+}
+
+func (n *Node) child(phase string) *Node {
+	if n.index == nil {
+		n.index = map[string]*Node{}
+	}
+	if c, ok := n.index[phase]; ok {
+		return c
+	}
+	c := &Node{Phase: phase}
+	n.index[phase] = c
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Self is the node's exclusive time: Total minus the children's totals.
+func (n *Node) Self() clock.Time {
+	t := n.Total
+	for _, c := range n.Children {
+		t -= c.Total
+	}
+	return t
+}
+
+// Fold aggregates closed spans into a phase tree rooted at a synthetic
+// "" node. Async spans (remote shootdown service) are skipped — they
+// do not consume the recorded vCPU's time. Sibling order is creation
+// order of first appearance, which is deterministic.
+func Fold(spans []Span) *Node {
+	root := &Node{}
+	nodes := make(map[int]*Node, len(spans))
+	for _, s := range spans {
+		if s.Async {
+			continue
+		}
+		parent := root
+		if s.Parent >= 0 {
+			if p, ok := nodes[s.Parent]; ok {
+				parent = p
+			}
+		}
+		n := parent.child(s.Phase)
+		n.Count++
+		n.Total += s.Dur
+		nodes[s.ID] = n
+	}
+	return root
+}
+
+// PhaseTotal holds aggregate self-time for one phase name across the
+// whole tree.
+type PhaseTotal struct {
+	Phase string
+	Count uint64
+	Self  clock.Time
+}
+
+// TopPhases ranks phases by exclusive (self) time, descending; ties
+// break on name so output is stable.
+func TopPhases(spans []Span) []PhaseTotal {
+	agg := map[string]*PhaseTotal{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Phase != "" {
+			t := agg[n.Phase]
+			if t == nil {
+				t = &PhaseTotal{Phase: n.Phase}
+				agg[n.Phase] = t
+			}
+			t.Count += n.Count
+			t.Self += n.Self()
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(Fold(spans))
+	out := make([]PhaseTotal, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// FoldedStacks renders the tree as flamegraph collapsed-stack lines:
+// one "prefix;phase;...;leaf <self-picoseconds>" per node with nonzero
+// self time, sorted lexically so output is byte-stable. prefix names
+// the run (e.g. "cki/8vcpu"); empty is allowed.
+func FoldedStacks(prefix string, spans []Span) string {
+	var lines []string
+	var walk func(n *Node, stack string)
+	walk = func(n *Node, stack string) {
+		path := stack
+		if n.Phase != "" {
+			if path != "" {
+				path += ";"
+			}
+			path += n.Phase
+			if self := n.Self(); self > 0 {
+				lines = append(lines, fmt.Sprintf("%s %d", path, int64(self)))
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	walk(Fold(spans), prefix)
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/clock"
+)
+
+// Span is one closed phase of a flow: a syscall, one of its gate legs,
+// a PKRS write, an IPI leg, a remote TLB flush. Spans nest: Parent is
+// the index of the enclosing span, or -1 for a root. Durations are
+// virtual time, so two runs of the same seeded workload produce
+// byte-identical span lists.
+type Span struct {
+	ID     int        `json:"id"`
+	Parent int        `json:"parent"`
+	Phase  string     `json:"phase"`
+	At     clock.Time `json:"at"`
+	Dur    clock.Time `json:"dur"`
+	VCPU   int        `json:"vcpu"`
+	PID    int        `json:"pid"`
+	// Async marks spans that model concurrent activity (a remote
+	// vCPU servicing an IPI) and therefore do not consume initiator
+	// time: folds and sum checks skip them.
+	Async bool `json:"async,omitempty"`
+}
+
+// SpanRecorder collects hierarchical spans against a virtual clock.
+// A nil *SpanRecorder is a valid no-op recorder, and no method ever
+// advances the clock, so enabling or disabling tracing never changes
+// a flow's virtual cost.
+type SpanRecorder struct {
+	Clk *clock.Clock
+	// Runtime and Container label every span produced through this
+	// recorder when exported.
+	Runtime   string
+	Container int
+	// VCPUFn and PIDFn, when set, supply the current vCPU and PID at
+	// Begin time (the guest kernel installs them).
+	VCPUFn func() int
+	PIDFn  func() int
+
+	spans []Span
+	stack []int
+}
+
+// NewSpanRecorder creates a recorder reading timestamps from clk.
+func NewSpanRecorder(clk *clock.Clock) *SpanRecorder {
+	return &SpanRecorder{Clk: clk}
+}
+
+// Begin opens a span under the innermost open span and returns its ID.
+// On a nil recorder it returns -1.
+func (r *SpanRecorder) Begin(phase string) int {
+	if r == nil {
+		return -1
+	}
+	parent := -1
+	if n := len(r.stack); n > 0 {
+		parent = r.stack[n-1]
+	}
+	id := len(r.spans)
+	s := Span{ID: id, Parent: parent, Phase: phase, At: r.Clk.Now()}
+	if r.VCPUFn != nil {
+		s.VCPU = r.VCPUFn()
+	}
+	if r.PIDFn != nil {
+		s.PID = r.PIDFn()
+	}
+	r.spans = append(r.spans, s)
+	r.stack = append(r.stack, id)
+	return id
+}
+
+// End closes the span with the given ID (and, defensively, anything
+// opened after it that was left open). No-op on a nil recorder or a
+// negative ID.
+func (r *SpanRecorder) End(id int) {
+	if r == nil || id < 0 {
+		return
+	}
+	now := r.Clk.Now()
+	for len(r.stack) > 0 {
+		top := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		r.spans[top].Dur = now - r.spans[top].At
+		if top == id {
+			return
+		}
+	}
+}
+
+// EmitAt records an already-closed span with explicit timing, used for
+// async activity (remote shootdown service) whose wall placement is
+// known but which did not run on the recording vCPU. parent may be -1
+// or the ID of an open or closed span. Returns the new span's ID.
+func (r *SpanRecorder) EmitAt(phase string, at, dur clock.Time, vcpu, parent int) int {
+	if r == nil {
+		return -1
+	}
+	id := len(r.spans)
+	r.spans = append(r.spans, Span{
+		ID: id, Parent: parent, Phase: phase, At: at, Dur: dur,
+		VCPU: vcpu, Async: true,
+	})
+	return id
+}
+
+// Spans returns the recorded spans in creation order (a copy).
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return append([]Span(nil), r.spans...)
+}
+
+// Len reports the number of recorded spans.
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Reset drops all recorded spans and open state.
+func (r *SpanRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.spans = r.spans[:0]
+	r.stack = r.stack[:0]
+}
+
+// SpansJSON renders spans as deterministic indented JSON.
+func SpansJSON(spans []Span) ([]byte, error) {
+	if spans == nil {
+		spans = []Span{}
+	}
+	return json.MarshalIndent(spans, "", "  ")
+}
+
+// RootTotal sums the durations of non-async root spans — the total
+// attributed virtual time of the recorded flows.
+func RootTotal(spans []Span) clock.Time {
+	var total clock.Time
+	for _, s := range spans {
+		if s.Parent == -1 && !s.Async {
+			total += s.Dur
+		}
+	}
+	return total
+}
+
+// RootsIn returns the non-async root spans fully inside [lo, hi).
+func RootsIn(spans []Span, lo, hi clock.Time) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.Parent == -1 && !s.Async && s.At >= lo && s.At+s.Dur <= hi {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PhaseSet returns the sorted set of distinct phase names.
+func PhaseSet(spans []Span) []string {
+	seen := map[string]bool{}
+	for _, s := range spans {
+		seen[s.Phase] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

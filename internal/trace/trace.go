@@ -28,11 +28,16 @@ const (
 	FaultInject
 	// Panic marks the guest kernel's transition to the died state.
 	Panic
+	// Shootdown marks one end-to-end TLB-shootdown protocol run
+	// (initiator perspective).
+	Shootdown
+	// Migrate marks a container move to another vCPU.
+	Migrate
 )
 
 var kindNames = [...]string{
 	"syscall", "pagefault", "protfault", "hypercall", "ctxsw", "tick", "kick",
-	"inject", "panic",
+	"inject", "panic", "shootdown", "migrate",
 }
 
 func (k Kind) String() string { return kindNames[k] }
@@ -44,6 +49,10 @@ type Event struct {
 	Kind Kind
 	// PID is the process on the CPU when the event started.
 	PID int
+	// VCPU is the virtual CPU the event ran on. On a single-core
+	// machine it is always 0; under the SMP engine it disambiguates the
+	// interleaved per-vCPU timelines.
+	VCPU int
 }
 
 // Ring is a bounded event recorder. A nil *Ring is a valid no-op
@@ -114,7 +123,7 @@ func (r *Ring) Render(n int) string {
 	}
 	b.WriteString("):\n")
 	for _, e := range evs {
-		fmt.Fprintf(&b, "  %12v  pid %-3d  %-10s %v\n", e.At, e.PID, e.Kind, e.Dur)
+		fmt.Fprintf(&b, "  %12v  cpu%d pid %-3d  %-10s %v\n", e.At, e.VCPU, e.PID, e.Kind, e.Dur)
 	}
 	return b.String()
 }
