@@ -13,14 +13,22 @@
 //	ckibench -exp smp -trace-out smp.trace.json    # Chrome/Perfetto trace
 //	ckibench -exp smp -spans-out smp.spans.json    # span profile (ckitrace -in)
 //	ckibench -exp smp -metrics-out smp.metrics.json
+//	ckibench -exp smp -audit-out smp.audit.log     # machine-event log (ckireplay -in)
+//
+// It can also be gated against a committed baseline report, failing the
+// invocation when throughput regresses beyond the tolerance:
+//
+//	ckibench -exp smp -baseline BENCH_smp.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/audit"
 	"repro/internal/bench"
 )
 
@@ -31,6 +39,40 @@ func writeFile(path string, data []byte) {
 	}
 }
 
+// gateBaseline compares cur against the committed report at path and
+// exits non-zero when any runtime's throughput regressed beyond the
+// default tolerance — the perf-trajectory gate CI runs on every change.
+func gateBaseline(path string, cur *bench.SMPReport) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckibench: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	old := &bench.SMPReport{}
+	if err := json.Unmarshal(b, old); err != nil {
+		fmt.Fprintf(os.Stderr, "ckibench: baseline %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	deltas, err := bench.CompareReports(old, cur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckibench: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.WriteDeltaTable(deltas, bench.DefaultRegressionTolerance, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+		os.Exit(1)
+	}
+	if bad := bench.ThroughputRegressions(deltas, bench.DefaultRegressionTolerance); len(bad) > 0 {
+		for _, d := range bad {
+			fmt.Fprintf(os.Stderr, "ckibench: REGRESSION: %s x%d throughput %.0f -> %.0f (%+.1f%%)\n",
+				d.Runtime, d.VCPUs, d.Old, d.New, 100*d.Rel)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("baseline gate: PASS (throughput within %.0f%% of %s)\n",
+		100*bench.DefaultRegressionTolerance, path)
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id (empty = all)")
 	scale := flag.Int("scale", 1, "workload scale factor")
@@ -39,47 +81,82 @@ func main() {
 	traceOut := flag.String("trace-out", "", "with -exp smp: write a Chrome trace-event JSON to FILE")
 	spansOut := flag.String("spans-out", "", "with -exp smp: write the span profile JSON to FILE")
 	metricsOut := flag.String("metrics-out", "", "with -exp smp: write the metrics snapshot JSON to FILE")
+	auditOut := flag.String("audit-out", "", "with -exp smp: record the machine-event audit log to FILE")
+	baseline := flag.String("baseline", "", "with -exp smp: compare against a committed report and fail on >10% throughput regression")
 	flag.Parse()
 
-	if *traceOut != "" || *spansOut != "" || *metricsOut != "" {
+	needProf := *traceOut != "" || *spansOut != "" || *metricsOut != ""
+	if needProf || *auditOut != "" || *baseline != "" {
 		if *exp != "smp" {
-			fmt.Fprintln(os.Stderr, "ckibench: -trace-out/-spans-out/-metrics-out require -exp smp")
+			fmt.Fprintln(os.Stderr, "ckibench: -trace-out/-spans-out/-metrics-out/-audit-out/-baseline require -exp smp")
 			os.Exit(2)
 		}
-		prof, err := bench.RunSMPProfiled(*scale, bench.SMPSeed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
-			os.Exit(1)
+		if needProf && *auditOut != "" {
+			fmt.Fprintln(os.Stderr, "ckibench: -audit-out cannot be combined with the span/metrics artifact flags")
+			os.Exit(2)
 		}
-		if *traceOut != "" {
-			writeFile(*traceOut, prof.ChromeJSON())
-		}
-		if *spansOut != "" {
-			b, err := prof.JSON()
+		var rep *bench.SMPReport
+		switch {
+		case needProf:
+			prof, err := bench.RunSMPProfiled(*scale, bench.SMPSeed)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
-				os.Exit(1)
-			}
-			writeFile(*spansOut, append(b, '\n'))
-		}
-		if *metricsOut != "" {
-			b, err := prof.MetricsJSON()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
-				os.Exit(1)
-			}
-			writeFile(*metricsOut, append(b, '\n'))
-		}
-		// The report itself is byte-identical to an unprofiled run, so
-		// the usual outputs remain available in the same invocation.
-		if *jsonOut {
-			if err := bench.WriteSMPReportJSON(prof.Report, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 				os.Exit(1)
 			}
-		} else if err := bench.WriteSMPTable(prof.Report, os.Stdout); err != nil {
+			if *traceOut != "" {
+				writeFile(*traceOut, prof.ChromeJSON())
+			}
+			if *spansOut != "" {
+				b, err := prof.JSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+					os.Exit(1)
+				}
+				writeFile(*spansOut, append(b, '\n'))
+			}
+			if *metricsOut != "" {
+				b, err := prof.MetricsJSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+					os.Exit(1)
+				}
+				writeFile(*metricsOut, append(b, '\n'))
+			}
+			rep = prof.Report
+		case *auditOut != "":
+			rec := audit.NewRecorder(nil)
+			var err error
+			rep, err = bench.RunSMPAudited(*scale, bench.SMPSeed, rec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rec.WriteFile(*auditOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			var err error
+			rep, err = bench.RunSMP(*scale, bench.SMPSeed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		// The report is byte-identical however it was produced (the
+		// observers are clock-neutral), so the usual outputs remain
+		// available in the same invocation.
+		if *jsonOut {
+			if err := bench.WriteSMPReportJSON(rep, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err := bench.WriteSMPTable(rep, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 			os.Exit(1)
+		}
+		if *baseline != "" {
+			gateBaseline(*baseline, rep)
 		}
 		return
 	}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/backends"
 	"repro/internal/faults"
 	"repro/internal/guest"
@@ -26,28 +27,6 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
-
-func catalog() map[string]workloads.Runner {
-	m := map[string]workloads.Runner{}
-	for _, a := range workloads.Fig12Apps(1) {
-		m[a.AppName] = a
-	}
-	for _, a := range workloads.Table4Apps(1) {
-		m[strings.ToLower(a.Name())] = a
-	}
-	for _, lc := range workloads.LMBenchCases(1) {
-		m["lmbench-"+lc.CaseName] = lc
-	}
-	for _, sc := range workloads.Fig14Cases(1) {
-		m["sqlite-"+sc.CaseName] = sc
-	}
-	m["memcached"] = workloads.Memcached(256)
-	m["redis"] = workloads.Redis(256)
-	for _, a := range workloads.Fig5Apps(1) {
-		m[a.AppName] = a
-	}
-	return m
-}
 
 func main() {
 	rt := flag.String("runtime", "cki", "runc | hvm | pvm | cki | gvisor")
@@ -59,9 +38,10 @@ func main() {
 	faultSeed := flag.Uint64("faults", 0, "run under a deterministic fault plan with this seed (0 = off)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's flow spans to FILE")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON to FILE")
+	auditOut := flag.String("audit-out", "", "record the machine-event audit log to FILE (replay with ckireplay)")
 	flag.Parse()
 
-	cat := catalog()
+	cat := workloads.Catalog()
 	if *list {
 		names := make([]string, 0, len(cat))
 		for n := range cat {
@@ -88,7 +68,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ckirun: unknown workload %q (try -list)\n", *wl)
 		os.Exit(2)
 	}
-	c, err := backends.New(kind, backends.Options{Nested: *nested})
+	var auditRec *audit.Recorder
+	if *auditOut != "" {
+		auditRec = audit.NewRecorder(nil)
+		auditRec.Meta = audit.Meta{
+			Kind:      "ckirun",
+			Runtime:   strings.ToLower(*rt),
+			Nested:    *nested,
+			Workload:  strings.ToLower(*wl),
+			FaultSeed: *faultSeed,
+		}
+	}
+	c, err := backends.New(kind, backends.Options{Nested: *nested, Audit: auditRec})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ckirun: boot: %v\n", err)
 		os.Exit(1)
@@ -124,6 +115,12 @@ func main() {
 				os.Exit(1)
 			}
 			if err := os.WriteFile(*metricsOut, append(b, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *auditOut != "" {
+			if err := auditRec.WriteFile(*auditOut); err != nil {
 				fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
 				os.Exit(1)
 			}

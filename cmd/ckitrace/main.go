@@ -38,6 +38,59 @@ func fail(format string, args ...interface{}) {
 	os.Exit(1)
 }
 
+func usage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ckitrace: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// validateFlags rejects conflicting flag combinations instead of
+// silently ignoring the losers. The three modes are mutually exclusive:
+// -metrics, -in (plus exactly one view selector), and the static flow
+// decomposition (-flow/-runtime).
+func validateFlags() {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	views := []string{"breakdown", "top", "chrome", "folded"}
+	nviews := 0
+	for _, v := range views {
+		if set[v] {
+			nviews++
+		}
+	}
+	switch {
+	case set["metrics"]:
+		for _, other := range append([]string{"in", "flow", "runtime"}, views...) {
+			if set[other] {
+				usage("-metrics cannot be combined with -%s", other)
+			}
+		}
+	case set["in"]:
+		for _, other := range []string{"flow", "runtime"} {
+			if set[other] {
+				usage("-in renders a recorded profile; -%s selects a static flow — pick one", other)
+			}
+		}
+		if nviews == 0 {
+			usage("-in requires exactly one of -breakdown, -top N, -chrome, -folded")
+		}
+		if nviews > 1 {
+			usage("-breakdown, -top, -chrome and -folded are mutually exclusive")
+		}
+	case nviews > 0:
+		usage("-%s requires -in", firstSet(set, views))
+	}
+}
+
+func firstSet(set map[string]bool, names []string) string {
+	for _, n := range names {
+		if set[n] {
+			return n
+		}
+	}
+	return names[0]
+}
+
 func profileViews(path string, breakdown, chrome, folded bool, top int) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -97,6 +150,7 @@ func main() {
 	folded := flag.Bool("folded", false, "with -in: emit flamegraph collapsed stacks")
 	metricsIn := flag.String("metrics", "", "render a metrics snapshot JSON written by -metrics-out")
 	flag.Parse()
+	validateFlags()
 
 	if *metricsIn != "" {
 		renderMetrics(*metricsIn)

@@ -1,0 +1,141 @@
+package audit
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/clock"
+)
+
+// Binary log format v1. Little-endian throughout:
+//
+//	offset  size  field
+//	0       8     magic "CKIAUD1\n"
+//	8       4     metaLen (u32)
+//	12      n     meta JSON (run descriptor)
+//	12+n    40*k  fixed-size event records
+//
+// One record:
+//
+//	0   1  kind
+//	1   1  vcpu
+//	2   2  pcid
+//	4   4  reserved (zero)
+//	8   8  at (virtual time, ps, i64)
+//	16  8  a
+//	24  8  b
+//	32  8  c
+//
+// Every field is deterministic under the virtual clock, so two logs of
+// the same seeded run are byte-identical.
+
+const (
+	logMagic   = "CKIAUD1\n"
+	recordSize = 40
+)
+
+// Meta describes the run that produced a log, with enough detail for
+// ckireplay -live to re-execute it.
+type Meta struct {
+	// Kind of run: "ckirun" (one container, one workload) or "smp"
+	// (the bench SMP scaling experiment).
+	Kind string `json:"kind,omitempty"`
+	// ckirun runs.
+	Runtime   string `json:"runtime,omitempty"`
+	Nested    bool   `json:"nested,omitempty"`
+	Workload  string `json:"workload,omitempty"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// smp runs.
+	Seed  uint64 `json:"seed,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+}
+
+// Log is a parsed audit log.
+type Log struct {
+	Meta   Meta
+	Events []Event
+}
+
+// Marshal encodes a log in the v1 binary format.
+func Marshal(meta Meta, events []Event) []byte {
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		// Meta is a plain struct of scalars; this cannot fail.
+		panic(err)
+	}
+	out := make([]byte, 0, len(logMagic)+4+len(mj)+recordSize*len(events))
+	out = append(out, logMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(mj)))
+	out = append(out, mj...)
+	for _, e := range events {
+		var rec [recordSize]byte
+		rec[0] = byte(e.Kind)
+		rec[1] = e.VCPU
+		binary.LittleEndian.PutUint16(rec[2:4], e.PCID)
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(int64(e.At)))
+		binary.LittleEndian.PutUint64(rec[16:24], e.A)
+		binary.LittleEndian.PutUint64(rec[24:32], e.B)
+		binary.LittleEndian.PutUint64(rec[32:40], e.C)
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// Marshal encodes the recorder's log in the v1 binary format.
+func (r *Recorder) Marshal() []byte {
+	if r == nil {
+		return Marshal(Meta{}, nil)
+	}
+	return Marshal(r.Meta, r.events)
+}
+
+// WriteFile writes the recorder's log to path.
+func (r *Recorder) WriteFile(path string) error {
+	return os.WriteFile(path, r.Marshal(), 0o644)
+}
+
+// Unmarshal parses a v1 binary log.
+func Unmarshal(data []byte) (*Log, error) {
+	if len(data) < len(logMagic)+4 || string(data[:len(logMagic)]) != logMagic {
+		return nil, fmt.Errorf("audit: not a CKIAUD1 log")
+	}
+	data = data[len(logMagic):]
+	metaLen := int(binary.LittleEndian.Uint32(data[:4]))
+	data = data[4:]
+	if metaLen > len(data) {
+		return nil, fmt.Errorf("audit: truncated meta (%d > %d bytes)", metaLen, len(data))
+	}
+	var l Log
+	if err := json.Unmarshal(data[:metaLen], &l.Meta); err != nil {
+		return nil, fmt.Errorf("audit: meta: %w", err)
+	}
+	data = data[metaLen:]
+	if len(data)%recordSize != 0 {
+		return nil, fmt.Errorf("audit: truncated records (%d trailing bytes)", len(data)%recordSize)
+	}
+	l.Events = make([]Event, 0, len(data)/recordSize)
+	for off := 0; off < len(data); off += recordSize {
+		rec := data[off : off+recordSize]
+		l.Events = append(l.Events, Event{
+			Kind: Kind(rec[0]),
+			VCPU: rec[1],
+			PCID: binary.LittleEndian.Uint16(rec[2:4]),
+			At:   clock.Time(int64(binary.LittleEndian.Uint64(rec[8:16]))),
+			A:    binary.LittleEndian.Uint64(rec[16:24]),
+			B:    binary.LittleEndian.Uint64(rec[24:32]),
+			C:    binary.LittleEndian.Uint64(rec[32:40]),
+		})
+	}
+	return &l, nil
+}
+
+// ReadFile loads and parses a log file.
+func ReadFile(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

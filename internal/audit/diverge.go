@@ -1,0 +1,69 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence is the first point where two event logs differ. Because
+// every event is deterministic under the virtual clock, the first
+// differing index is stable across repeated comparisons of the same
+// two seeded runs — it names the exact machine operation where the
+// executions parted ways.
+type Divergence struct {
+	// Index is the position of the first differing event.
+	Index int
+	// A and B are the events at Index in each log; nil when that log
+	// ended before the divergence point (a pure length divergence).
+	A, B *Event
+}
+
+// FirstDivergence compares two logs event by event and returns the
+// first difference, or nil if the logs are identical.
+func FirstDivergence(a, b []Event) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			ea, eb := a[i], b[i]
+			return &Divergence{Index: i, A: &ea, B: &eb}
+		}
+	}
+	if len(a) == len(b) {
+		return nil
+	}
+	d := &Divergence{Index: n}
+	if n < len(a) {
+		ea := a[n]
+		d.A = &ea
+	}
+	if n < len(b) {
+		eb := b[n]
+		d.B = &eb
+	}
+	return d
+}
+
+// String renders the divergence report: the index, the virtual
+// timestamps, and the side-by-side event diff.
+func (d *Divergence) String() string {
+	if d == nil {
+		return "logs identical"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first divergence at event %d\n", d.Index)
+	switch {
+	case d.A != nil && d.B != nil:
+		fmt.Fprintf(&b, "  a: %s\n", *d.A)
+		fmt.Fprintf(&b, "  b: %s\n", *d.B)
+	case d.A != nil:
+		fmt.Fprintf(&b, "  a: %s\n", *d.A)
+		fmt.Fprintf(&b, "  b: <log ended>\n")
+	case d.B != nil:
+		fmt.Fprintf(&b, "  a: <log ended>\n")
+		fmt.Fprintf(&b, "  b: %s\n", *d.B)
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package backends
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/inspect"
+)
+
+// Satellite tests for the machine-event audit log: the recorder costs
+// exactly zero virtual cycles, same-seed logs are byte-identical,
+// prefix replay is a pure fold that reproduces live machine state, and
+// the divergence finder pinpoints an injected fault.
+
+// auditMatrix is every runtime the audit invariants run over.
+var auditMatrix = []struct {
+	name string
+	kind Kind
+	opts Options
+}{
+	{"runc", RunC, Options{}},
+	{"hvm", HVM, Options{GuestFrames: 1 << 12}},
+	{"pvm", PVM, Options{GuestFrames: 1 << 12}},
+	{"cki", CKI, Options{}},
+	{"gvisor", GVisor, Options{}},
+}
+
+// auditRun boots one container with rec attached at birth, runs the
+// mixed workload, and returns the container for inspection.
+func auditRun(t *testing.T, kind Kind, opts Options, rec *audit.Recorder) *Container {
+	t.Helper()
+	opts.Audit = rec
+	c, err := New(kind, opts)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := smallWork(c); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+// TestAuditRecorderIsClockNeutral: attaching a recorder costs exactly
+// zero virtual cycles on every runtime.
+func TestAuditRecorderIsClockNeutral(t *testing.T) {
+	for _, m := range auditMatrix {
+		t.Run(m.name, func(t *testing.T) {
+			bare := auditRun(t, m.kind, m.opts, nil).Clk.Now()
+			rec := audit.NewRecorder(nil)
+			c := auditRun(t, m.kind, m.opts, rec)
+			if got := c.Clk.Now(); got != bare {
+				t.Errorf("recorder advanced virtual time: %v with, %v without", got, bare)
+			}
+			if rec.Len() == 0 {
+				t.Error("recorder captured nothing")
+			}
+		})
+	}
+}
+
+// TestAuditLogByteIdentity: two same-seed runs marshal to identical
+// bytes on every runtime.
+func TestAuditLogByteIdentity(t *testing.T) {
+	for _, m := range auditMatrix {
+		t.Run(m.name, func(t *testing.T) {
+			a := audit.NewRecorder(nil)
+			auditRun(t, m.kind, m.opts, a)
+			b := audit.NewRecorder(nil)
+			auditRun(t, m.kind, m.opts, b)
+			if !bytes.Equal(a.Marshal(), b.Marshal()) {
+				d := audit.FirstDivergence(a.Events(), b.Events())
+				t.Errorf("same-seed logs differ:\n%s", d)
+			}
+		})
+	}
+}
+
+// TestAuditPrefixFoldPurity: applying the event suffix on top of any
+// replayed prefix reproduces exactly the full replay's inspector state
+// (the testing/quick property behind time-travel: state at t is a pure
+// fold of the prefix).
+func TestAuditPrefixFoldPurity(t *testing.T) {
+	rec := audit.NewRecorder(nil)
+	auditRun(t, CKI, Options{}, rec)
+	events := rec.Events()
+	want := audit.ReplayPrefix(events, len(events)).Fingerprint()
+	prop := func(raw uint16) bool {
+		n := int(raw) % (len(events) + 1)
+		s := audit.ReplayPrefix(events, n)
+		for _, e := range events[n:] {
+			s.Apply(e)
+		}
+		return s.Fingerprint() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatalf("prefix fold purity violated: %v", err)
+	}
+}
+
+// TestAuditReplayReconstructsLiveState: for runtimes whose guest runs
+// against the shared hardware TLB (RunC, CKI), the replayed page table
+// under the guest's own root and the replayed TLB match the live
+// machine entry for entry. (HVM/PVM route guest translations through
+// runtime-private vTLBs, so only their recorded flush/fill traffic —
+// not full contents — is reconstructible.)
+func TestAuditReplayReconstructsLiveState(t *testing.T) {
+	for _, m := range auditMatrix {
+		if m.kind != RunC && m.kind != CKI {
+			continue
+		}
+		t.Run(m.name, func(t *testing.T) {
+			rec := audit.NewRecorder(nil)
+			c := auditRun(t, m.kind, m.opts, rec)
+			s := audit.ReplayPrefix(rec.Events(), rec.Len())
+
+			root := c.K.Cur.AS.Root
+			live := inspect.Walk(c.HostMem, root)
+			replayed := s.Regions(uint64(root))
+			if !reflect.DeepEqual(live, replayed) {
+				t.Errorf("page table mismatch at root %#x:\nlive:     %v\nreplayed: %v",
+					root, live, replayed)
+			}
+
+			liveTLB := c.MMU.TLB.Entries()
+			repTLB := s.TLBEntries(c.vcpu)
+			if !reflect.DeepEqual(liveTLB, repTLB) {
+				t.Errorf("TLB mismatch: live %d entries, replayed %d", len(liveTLB), len(repTLB))
+			}
+		})
+	}
+}
+
+// TestAuditDivergencePinpointsInjectedFault: two runs whose fault plans
+// differ in a single site rule diverge at exactly the injection event,
+// and the divergence point is stable across repeats.
+func TestAuditDivergencePinpointsInjectedFault(t *testing.T) {
+	run := func(nth uint64) []audit.Event {
+		rec := audit.NewRecorder(nil)
+		c, err := New(CKI, Options{Audit: rec})
+		if err != nil {
+			t.Fatalf("boot: %v", err)
+		}
+		plan := faults.NewPlan(1, faults.Rule{Site: faults.PTEWrite, Nth: nth})
+		c.InjectFaults(plan)
+		for i := 0; i < 12; i++ {
+			// Injected PTE corruption may kill the guest; the log up to
+			// death is the artifact under test.
+			if err := smallWork(c); err != nil {
+				break
+			}
+		}
+		return rec.Events()
+	}
+	a, b := run(40), run(45)
+	d := audit.FirstDivergence(a, b)
+	if d == nil {
+		t.Fatal("plans differing in one site rule produced identical logs")
+	}
+	if d.A == nil || d.A.Kind != audit.EvInjected {
+		t.Fatalf("divergence is not the injection event: %s", d)
+	}
+	if got := audit.SiteName(d.A.A); got != string(faults.PTEWrite) {
+		t.Errorf("diverging injection site = %q, want %q", got, faults.PTEWrite)
+	}
+	// Deterministic: re-recording both runs reproduces the same point.
+	d2 := audit.FirstDivergence(run(40), run(45))
+	if d2 == nil || d2.Index != d.Index || *d2.A != *d.A {
+		t.Errorf("divergence point not stable: first %v, second %v", d, d2)
+	}
+}
+
+// TestAuditFaultNamesPinned: audit's fault-name table (it cannot import
+// internal/hw) mirrors hw.FaultKind.String exactly.
+func TestAuditFaultNamesPinned(t *testing.T) {
+	for k := hw.FaultKind(0); k <= hw.FaultTriple; k++ {
+		if got, want := audit.FaultName(uint64(k)), k.String(); got != want {
+			t.Errorf("FaultName(%d) = %q, hw says %q", k, got, want)
+		}
+	}
+}
+
+// TestAuditSMPShootdownRecorded: a multi-vCPU unmap records the IPI
+// send/ack pairs and the shootdown completion with virtual-time
+// latencies.
+func TestAuditSMPShootdownRecorded(t *testing.T) {
+	rec := audit.NewRecorder(nil)
+	c, err := New(CKI, Options{NumVCPU: 4, Audit: rec})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	for v := 0; v < 4; v++ {
+		if err := c.MigrateVCPU(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := smallWork(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := audit.ReplayPrefix(rec.Events(), rec.Len())
+	counts := s.Counts()
+	if counts[audit.EvShootdown] == 0 {
+		t.Fatal("no shootdown events recorded")
+	}
+	if counts[audit.EvIPISend] == 0 || counts[audit.EvIPIAck] == 0 {
+		t.Errorf("IPI traffic missing: send=%d ack=%d",
+			counts[audit.EvIPISend], counts[audit.EvIPIAck])
+	}
+	var sawLatency bool
+	for _, e := range rec.Events() {
+		if e.Kind == audit.EvShootdown && clock.Time(e.A) > 0 {
+			sawLatency = true
+			break
+		}
+	}
+	if !sawLatency {
+		t.Error("every shootdown recorded zero latency")
+	}
+}

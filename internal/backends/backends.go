@@ -15,6 +15,7 @@ package backends
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/cki"
 	"repro/internal/clock"
 	"repro/internal/faults"
@@ -99,6 +100,11 @@ type Options struct {
 	// injected exceptions pay extra cross-ring switches (~750ns on the
 	// paper's testbed).
 	DesignPKU bool
+	// Audit, when non-nil, records the machine-event log from the first
+	// boot-time register write onward, so a replay of the log
+	// reconstructs the exact live machine state (see internal/audit).
+	// Nil-safe and free of virtual-time cost.
+	Audit *audit.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +140,10 @@ type Container struct {
 	MMU *mmu.Unit
 	// K is the guest kernel; workloads run against it.
 	K *guest.Kernel
+
+	// Audit is the machine-event recorder attached to this container
+	// (nil when not recording); see AuditTo.
+	Audit *audit.Recorder
 
 	pv backendPV
 	// smp is the machine's multi-vCPU engine (nil on single-core
@@ -198,6 +208,7 @@ func (m *Machine) EnableSMP(n int) error {
 // through a corpse's page tables.
 func (m *Machine) FlushContainerTLB(id int) {
 	pred := func(pcid uint16) bool { return int(pcid>>8) == id }
+	m.MMU.Audit.Emit(audit.EvTLBFlushGroup, 0, 0, uint64(id), 0, 0)
 	m.MMU.TLB.FlushIf(pred)
 	if m.SMP != nil {
 		m.SMP.FlushAllTLBs(pred)
@@ -270,6 +281,10 @@ func NewOnMachine(m *Machine, kind Kind, opts Options, containerID int) (*Contai
 			c.Name += "-BM"
 		}
 	}
+	// First attachment stage: the CPU/MMU/engine recorders go live before
+	// the boot-time register writes below, so a replay of the log starts
+	// from the same fresh-core state the live machine saw.
+	c.AuditTo(opts.Audit)
 	// Boot runs in host context. CR3 is cleared so the boot flows see
 	// the fresh-core state: on a shared machine the core may still hold
 	// the previously active container's root, whose address space does
@@ -302,6 +317,9 @@ func NewOnMachine(m *Machine, kind Kind, opts Options, containerID int) (*Contai
 	}
 	c.pv = pv
 	c.K = guest.New(pv, c.CPU, c.Clk, m.Costs, pv.guestMemory(), containerID)
+	// Second stage: the guest kernel and (for CKI) the gate now exist, so
+	// the mediated PTE writes of pv.boot land in the log too.
+	c.AuditTo(opts.Audit)
 	if err := pv.boot(c.K); err != nil {
 		return nil, fmt.Errorf("backends: boot hook for %s: %w", c.Name, err)
 	}
@@ -339,6 +357,9 @@ func (c *Container) Activate() error {
 // Host-level sites on a shared machine affect every co-resident
 // container and are wired separately via Machine.InjectFaults.
 func (c *Container) InjectFaults(inj faults.Injector) {
+	// Route firings through the audit chokepoint so injected faults are
+	// first-class log events the divergence finder can name.
+	inj = audit.WrapInjector(inj, c.Audit)
 	c.K.Inj = inj
 	c.K.VIC.Inj = inj
 }
@@ -474,7 +495,16 @@ func (c *Container) emitShootdown(k *guest.Kernel, spec smp.ShootdownSpec) {
 }
 
 // DeliverVirtIRQ exposes the runtime's virtual-interrupt delivery flow.
-func (c *Container) DeliverVirtIRQ() { c.pv.DeliverVirtIRQ(c.K) }
+// An injected faults.IRQDrop loses the interrupt in the virtual
+// controller: the guest never pays the delivery flow, and the audit log
+// of a chaos run diverges at exactly this point — the seed-sensitive
+// site that makes different-seed runs distinguishable under ckireplay.
+func (c *Container) DeliverVirtIRQ() {
+	if c.K.Fire(faults.IRQDrop) {
+		return
+	}
+	c.pv.DeliverVirtIRQ(c.K)
+}
 
 // VirtioKick charges one virtio doorbell through the runtime transport.
 func (c *Container) VirtioKick() error { return c.pv.VirtioKick(c.K) }

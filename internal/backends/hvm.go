@@ -1,6 +1,7 @@
 package backends
 
 import (
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/guest"
 	"repro/internal/host"
@@ -107,6 +108,7 @@ func (b *hvmPV) chargeVMExit(k *guest.Kernel) {
 func (b *hvmPV) eptViolation(k *guest.Kernel, gpfn mem.PFN) error {
 	b.EPTViolations++
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitEPTViolation)
 	c := b.c.Costs
 	span := k.SpanBegin("ept_violation")
 	if b.c.Opts.Nested {
@@ -122,6 +124,7 @@ func (b *hvmPV) eptViolation(k *guest.Kernel, gpfn mem.PFN) error {
 		k.Phase("vm_entry", c.VMEntry)
 	}
 	k.SpanEnd(span)
+	b.c.auditVMEntry(audit.VMExitEPTViolation)
 	if b.c.Opts.EPTHugePages {
 		base := gpfn &^ (mem.HugePageSize/mem.PageSize - 1)
 		seg, err := b.c.HostMem.AllocSegment(mem.HugePageSize/mem.PageSize, b.id)
@@ -272,8 +275,11 @@ func (b *hvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc 
 
 func (b *hvmPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, error) {
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitHypercall)
 	b.chargeVMExit(k)
-	return b.c.Host.Hypercall(k.Clk, nr, args...)
+	ret, err := b.c.Host.Hypercall(k.Clk, nr, args...)
+	b.c.auditVMEntry(audit.VMExitHypercall)
+	return ret, err
 }
 
 func (b *hvmPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
@@ -305,9 +311,11 @@ func (b *hvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 		Send: func(targets []int) error {
 			for _, t := range targets {
 				b.VMExits++
+				b.c.auditVMExit(audit.VMExitIPI)
 				b.chargeVMExit(k)
 				k.Phase("ipi_send", c.IPISend)
 				b.c.smp.Post(t, hw.VectorIPI)
+				b.c.auditVMEntry(audit.VMExitIPI)
 			}
 			return nil
 		},
@@ -350,6 +358,7 @@ func (b *hvmPV) DeliverVirtIRQ(k *guest.Kernel) {
 	// writes each cost an L1↔L0 round trip (no virtual-APIC assist for
 	// the L2).
 	c := b.c.Costs
+	b.c.auditVMExit(audit.VMExitVirtio)
 	if b.c.Opts.Nested {
 		b.VMExits += 2
 		k.Phase("nested_leg", 4*c.NestedLegRT)
@@ -362,12 +371,14 @@ func (b *hvmPV) DeliverVirtIRQ(k *guest.Kernel) {
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorVirtIO)
 	k.Phase("interrupt_deliver", c.InterruptDeliver)
 	k.Phase("iret", c.Iret)
+	b.c.auditVMEntry(audit.VMExitVirtio)
 }
 
 func (b *hvmPV) DeliverTimerIRQ(k *guest.Kernel) {
 	// The host's tick exits the guest; nested, it is L0-forwarded.
 	c := b.c.Costs
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitTimer)
 	if b.c.Opts.Nested {
 		k.Phase("nested_leg", 2*c.NestedLegRT)
 	} else {
@@ -377,14 +388,17 @@ func (b *hvmPV) DeliverTimerIRQ(k *guest.Kernel) {
 	b.c.Host.HandleIRQ(k.Clk, hw.VectorTimer)
 	k.Phase("interrupt_deliver", c.InterruptDeliver)
 	k.Phase("iret", c.Iret)
+	b.c.auditVMEntry(audit.VMExitTimer)
 }
 
 func (b *hvmPV) VirtioKick(k *guest.Kernel) error {
 	// The kick is an MMIO store: exit + instruction decode/emulation.
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitVirtio)
 	b.chargeVMExit(k)
 	k.Phase("mmio_decode", b.c.Costs.MMIODecode)
 	_, err := b.c.Host.Hypercall(k.Clk, host.HcVirtioKick)
+	b.c.auditVMEntry(audit.VMExitVirtio)
 	return err
 }
 

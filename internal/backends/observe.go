@@ -3,6 +3,7 @@ package backends
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -41,6 +42,52 @@ func (c *Container) Observe(rec *trace.SpanRecorder, fm *metrics.FlowMetrics) {
 	if b, ok := c.pv.(*ckiPV); ok {
 		b.gate.Rec = rec
 	}
+}
+
+// AuditTo attaches the machine-event recorder at every instrumented
+// layer of this container — the CPU, the MMU, the SMP engine and all
+// its vCPUs, the guest kernel, and (for CKI) the call gate — and
+// repoints the recorder's clock at this machine, so one recorder can
+// follow sequentially-driven machines. Passing nil detaches. Like
+// Observe, attachment never advances the virtual clock; a run with a
+// recorder takes byte-identical virtual time to a run without one.
+//
+// NewOnMachine calls AuditTo twice when Options.Audit is set (before
+// the boot register writes and again once the guest kernel exists), so
+// a boot-attached log replays to the exact live machine state.
+func (c *Container) AuditTo(rec *audit.Recorder) {
+	c.Audit = rec
+	if rec != nil {
+		rec.Clk = c.Clk
+	}
+	c.CPU.Audit = rec
+	c.MMU.Audit = rec
+	rec.EmitTLBConfig(c.MMU.TLB, c.vcpu)
+	if c.smp != nil {
+		c.smp.Audit = rec
+		for _, v := range c.smp.VCPUs {
+			v.CPU.Audit = rec
+			v.MMU.Audit = rec
+			rec.EmitTLBConfig(v.MMU.TLB, v.ID)
+		}
+	}
+	if c.K != nil {
+		c.K.Audit = rec
+	}
+	if b, ok := c.pv.(*ckiPV); ok {
+		b.gate.Audit = rec
+	}
+}
+
+// auditVMExit and auditVMEntry bracket one world switch of a
+// virtualized runtime in the audit log (reason codes in audit's
+// VMExit* constants).
+func (c *Container) auditVMExit(reason uint64) {
+	c.Audit.Emit(audit.EvVMExit, c.vcpu, c.CPU.PCID(), reason, 0, 0)
+}
+
+func (c *Container) auditVMEntry(reason uint64) {
+	c.Audit.Emit(audit.EvVMEntry, c.vcpu, c.CPU.PCID(), reason, 0, 0)
 }
 
 // CollectMetrics harvests the container's accumulated counters — guest

@@ -1,6 +1,7 @@
 package backends
 
 import (
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/guest"
 	"repro/internal/host"
@@ -95,10 +96,12 @@ func (b *pvmPV) SyscallEnter(k *guest.Kernel) {
 	// kernel entry. No IBRS: PVM's optimized syscall path (336ns total).
 	c := b.c.Costs
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitSyscall)
 	k.Phase("syscall_trap", c.SyscallTrap)
 	k.Phase("syscall_dispatch", c.PVMSyscallDispatch)
 	k.Phase("pt_switch", c.PTSwitch)
 	k.Phase("mode_switch", c.ModeSwitch)
+	b.c.auditVMEntry(audit.VMExitSyscall)
 	// The guest kernel executes in user mode under PVM.
 	k.CPU.SetMode(hw.ModeUser)
 }
@@ -117,6 +120,7 @@ func (b *pvmPV) FaultEnter(k *guest.Kernel) {
 	c := b.c.Costs
 	b.VMExits++
 	b.Injections++
+	b.c.auditVMExit(audit.VMExitFault)
 	k.Phase("exc_trap", c.ExcTrap)
 	k.Phase("spt_walk", c.SPTWalk)
 	k.Phase("spt_instr_emu", c.SPTInstrEmu)
@@ -125,16 +129,19 @@ func (b *pvmPV) FaultEnter(k *guest.Kernel) {
 	k.Phase("ibrs", c.IBRS)
 	k.Phase("pvm_exc_rt_extra", c.PVMExcRTExtra)
 	k.CPU.SetMode(hw.ModeUser)
+	b.c.auditVMEntry(audit.VMExitFault)
 }
 
 func (b *pvmPV) FaultExit(k *guest.Kernel) {
 	c := b.c.Costs
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitFault)
 	b.chargeHostLeg(k, 1)
 	k.Phase("ibrs", c.IBRS)
 	k.Phase("pvm_exc_rt_extra", c.PVMExcRTExtra)
 	k.Phase("iret", c.Iret)
 	k.CPU.SetMode(hw.ModeUser)
+	b.c.auditVMEntry(audit.VMExitFault)
 }
 
 func (b *pvmPV) PFHandlerCost(k *guest.Kernel) clock.Time {
@@ -200,6 +207,8 @@ func (b *pvmPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uin
 	// fixes the shadow (§2.4.2 "inefficient page table updates").
 	b.VMExits++
 	b.ShadowOps++
+	b.c.auditVMExit(audit.VMExitPTE)
+	defer b.c.auditVMEntry(audit.VMExitPTE)
 	b.chargeHypercall(k)
 	k.Phase("spt_mgmt", b.c.Costs.SPTMgmt)
 	k.Phase("pte_write", b.c.Costs.PTEWrite)
@@ -212,6 +221,7 @@ func (b *pvmPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uin
 	switch {
 	case leaf && v.Present():
 		b.c.MMU.TLB.FlushPage(as.PCID, va)
+		b.c.Audit.Emit(audit.EvTLBFlushPage, b.c.vcpu, as.PCID, va, 0, 0)
 		if v.Huge() {
 			seg, err := b.c.HostMem.AllocSegment(mem.HugePageSize/mem.PageSize, b.id)
 			if err != nil {
@@ -233,6 +243,7 @@ func (b *pvmPV) WritePTE(k *guest.Kernel, as *guest.AddrSpace, level int, va uin
 				return err
 			}
 			b.c.MMU.TLB.FlushPage(as.PCID, va)
+			b.c.Audit.Emit(audit.EvTLBFlushPage, b.c.vcpu, as.PCID, va, 0, 0)
 		}
 	}
 	return nil
@@ -242,12 +253,15 @@ func (b *pvmPV) FlushPage(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 	// The flush rides on the PTE-update hypercall the guest already
 	// issued; the host invalidates the shadow translation.
 	b.c.MMU.TLB.FlushPage(as.PCID, va)
+	b.c.Audit.Emit(audit.EvTLBFlushPage, b.c.vcpu, as.PCID, va, 0, 0)
 }
 
 func (b *pvmPV) SwitchAS(k *guest.Kernel, as *guest.AddrSpace) error {
 	// The guest kernel cannot load CR3: it hypercalls, and the host
 	// loads the shadow root (§7.1 lmbench analysis).
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitHypercall)
+	defer b.c.auditVMEntry(audit.VMExitHypercall)
 	b.chargeHypercall(k)
 	mode := k.CPU.Mode()
 	k.CPU.SetMode(hw.ModeKernel)
@@ -263,8 +277,11 @@ func (b *pvmPV) UserAccess(k *guest.Kernel, as *guest.AddrSpace, va uint64, acc 
 
 func (b *pvmPV) Hypercall(k *guest.Kernel, nr int, args ...uint64) (uint64, error) {
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitHypercall)
 	b.chargeHypercall(k)
-	return b.c.Host.Hypercall(k.Clk, nr, args...)
+	ret, err := b.c.Host.Hypercall(k.Clk, nr, args...)
+	b.c.auditVMEntry(audit.VMExitHypercall)
+	return ret, err
 }
 
 func (b *pvmPV) FileBackedFaultExtra(k *guest.Kernel) clock.Time {
@@ -291,9 +308,11 @@ func (b *pvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
 		VA:   va,
 		Send: func(targets []int) error {
 			b.VMExits++
+			b.c.auditVMExit(audit.VMExitIPI)
 			b.chargeHypercall(k)
 			_, err := b.c.Host.Hypercall(k.Clk, host.HcSendIPI,
 				vcpuMask(targets), uint64(hw.VectorIPI))
+			b.c.auditVMEntry(audit.VMExitIPI)
 			return err
 		},
 		RemoteCost: func(int) clock.Time {
@@ -333,6 +352,7 @@ func (b *pvmPV) VirtioKick(k *guest.Kernel) error {
 	// as replacing MMIOs with hypercalls").
 	c := b.c.Costs
 	b.VMExits++
+	b.c.auditVMExit(audit.VMExitVirtio)
 	k.Phase("exc_trap", c.ExcTrap)
 	k.Phase("spt_instr_emu", c.SPTInstrEmu)
 	k.Phase("mmio_decode", c.MMIODecode)
@@ -340,5 +360,6 @@ func (b *pvmPV) VirtioKick(k *guest.Kernel) error {
 	k.Phase("ibrs", c.IBRS)
 	k.Phase("pvm_exc_rt_extra", 2*c.PVMExcRTExtra)
 	_, err := b.c.Host.Hypercall(k.Clk, host.HcVirtioKick)
+	b.c.auditVMEntry(audit.VMExitVirtio)
 	return err
 }

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func smpFixture() *SMPReport {
+	return &SMPReport{
+		Seed:   SMPSeed,
+		Rounds: 8,
+		Rows: []SMPRow{
+			{Runtime: "RunC", VCPUs: 1, ServiceNs: 4000, Throughput: 90000, Speedup: 1},
+			{Runtime: "RunC", VCPUs: 2, ServiceNs: 4000, ShootdownNs: 900, Throughput: 160000, Speedup: 1.78},
+			{Runtime: "CKI", VCPUs: 1, ServiceNs: 4100, Throughput: 88000, Speedup: 1},
+			{Runtime: "CKI", VCPUs: 2, ServiceNs: 4100, ShootdownNs: 950, Throughput: 155000, Speedup: 1.76},
+		},
+	}
+}
+
+func TestCompareReportsIdenticalPassesGate(t *testing.T) {
+	old, cur := smpFixture(), smpFixture()
+	deltas, err := CompareReports(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(old.Rows) * len(smpMetrics); len(deltas) != want {
+		t.Fatalf("deltas = %d, want %d", len(deltas), want)
+	}
+	for _, d := range deltas {
+		if d.Rel != 0 {
+			t.Errorf("identical reports: %s x%d %s Rel = %v, want 0", d.Runtime, d.VCPUs, d.Metric, d.Rel)
+		}
+	}
+	if bad := ThroughputRegressions(deltas, DefaultRegressionTolerance); len(bad) != 0 {
+		t.Fatalf("identical reports flagged regressions: %v", bad)
+	}
+}
+
+func TestCompareReportsFailsOnSyntheticRegression(t *testing.T) {
+	old, cur := smpFixture(), smpFixture()
+	// Synthetic regression just past the gate: CKI x2 loses 11% throughput.
+	cur.Rows[3].Throughput *= 0.89
+	deltas, err := CompareReports(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ThroughputRegressions(deltas, DefaultRegressionTolerance)
+	if len(bad) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", bad)
+	}
+	if bad[0].Runtime != "CKI" || bad[0].VCPUs != 2 || bad[0].Metric != "throughput_ops_per_sec" {
+		t.Fatalf("wrong regression pinpointed: %+v", bad[0])
+	}
+	if bad[0].Rel > -0.10 {
+		t.Fatalf("Rel = %v, want <= -0.10", bad[0].Rel)
+	}
+	// A 9% drop on the same row stays inside the tolerance.
+	cur = smpFixture()
+	cur.Rows[3].Throughput *= 0.91
+	deltas, err = CompareReports(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := ThroughputRegressions(deltas, DefaultRegressionTolerance); len(bad) != 0 {
+		t.Fatalf("9%% drop flagged as regression: %v", bad)
+	}
+}
+
+func TestCompareReportsRowMismatchErrors(t *testing.T) {
+	old, cur := smpFixture(), smpFixture()
+	cur.Rows = cur.Rows[:len(cur.Rows)-1]
+	if _, err := CompareReports(old, cur); err == nil {
+		t.Fatal("missing current row not reported")
+	}
+	old2, cur2 := smpFixture(), smpFixture()
+	old2.Rows = old2.Rows[:len(old2.Rows)-1]
+	if _, err := CompareReports(old2, cur2); err == nil {
+		t.Fatal("extra current row not reported")
+	}
+}
+
+func TestWriteDeltaTableFlagsRegression(t *testing.T) {
+	old, cur := smpFixture(), smpFixture()
+	cur.Rows[1].Throughput *= 0.80
+	deltas, err := CompareReports(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDeltaTable(deltas, 0, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("table lacks REGRESSION flag:\n%s", out)
+	}
+	if !strings.Contains(out, "-20.00%") {
+		t.Fatalf("table lacks the -20%% delta:\n%s", out)
+	}
+}

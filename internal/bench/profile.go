@@ -81,7 +81,7 @@ func ParseSMPProfile(b []byte) (*SMPProfile, error) {
 // RunSMPProfiled runs the SMP experiment with observability attached.
 func RunSMPProfiled(scale int, seed uint64) (*SMPProfile, error) {
 	prof := &SMPProfile{reg: metrics.NewRegistry()}
-	rep, err := runSMP(scale, seed, prof)
+	rep, err := runSMP(scale, seed, prof, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/backends"
 	"repro/internal/clock"
 	"repro/internal/des"
@@ -74,13 +75,25 @@ func smpRequest(k *guest.Kernel) error {
 // RunSMP executes the SMP experiment. Deterministic: same scale, same
 // report, byte for byte.
 func RunSMP(scale int, seed uint64) (*SMPReport, error) {
-	return runSMP(scale, seed, nil)
+	return runSMP(scale, seed, nil, nil)
+}
+
+// RunSMPAudited runs the experiment with a machine-event recorder
+// attached at boot to every container in the matrix. The recorder is
+// clock-neutral, so the report matches RunSMP byte for byte; the log
+// spans all (runtime, vCPU) configurations in experiment order.
+func RunSMPAudited(scale int, seed uint64, rec *audit.Recorder) (*SMPReport, error) {
+	if rec != nil {
+		rec.Meta = audit.Meta{Kind: "smp", Seed: seed, Scale: scale}
+	}
+	return runSMP(scale, seed, nil, rec)
 }
 
 // runSMP drives the experiment, optionally capturing spans and metrics
-// into prof. The observers never advance the virtual clock, so the
-// returned report is byte-identical with and without prof.
-func runSMP(scale int, seed uint64, prof *SMPProfile) (*SMPReport, error) {
+// into prof and machine events into rec. The observers never advance
+// the virtual clock, so the returned report is byte-identical with and
+// without them.
+func runSMP(scale int, seed uint64, prof *SMPProfile, rec *audit.Recorder) (*SMPReport, error) {
 	specs := []struct {
 		kind backends.Kind
 		opts backends.Options
@@ -99,6 +112,7 @@ func runSMP(scale int, seed uint64, prof *SMPProfile) (*SMPReport, error) {
 		for _, n := range SMPVCPUCounts {
 			opts := s.opts
 			opts.NumVCPU = n
+			opts.Audit = rec
 			c, err := backends.New(s.kind, opts)
 			if err != nil {
 				return nil, fmt.Errorf("smp: boot %v x%d: %w", s.kind, n, err)

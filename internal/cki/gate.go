@@ -1,6 +1,7 @@
 package cki
 
 import (
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/host"
 	"repro/internal/hw"
@@ -30,6 +31,18 @@ type Gate struct {
 	// Rec, when non-nil, records per-leg gate spans (nil-safe; never
 	// advances the clock).
 	Rec *trace.SpanRecorder
+	// Audit, when non-nil, records gate enter/exit transitions into the
+	// machine audit log. Nil-safe; never advances the clock.
+	Audit *audit.Recorder
+}
+
+// gate brackets one gate transition in the audit log; the deferred exit
+// event covers error paths and stamps the end-of-gate virtual time.
+func (g *Gate) gate(kind, nr uint64) func() {
+	g.Audit.Emit(audit.EvGateEnter, g.VCPU, g.CPU.PCID(), kind, nr, 0)
+	return func() {
+		g.Audit.Emit(audit.EvGateExit, g.VCPU, g.CPU.PCID(), kind, nr, 0)
+	}
 }
 
 // phase charges d under a named span (plain Advance without a
@@ -62,6 +75,7 @@ func (g *Gate) Call(fn func() error) error {
 	g.KSM.Stats.GateCalls++
 	span := g.Rec.Begin("ksm_call")
 	defer g.Rec.End(span)
+	defer g.gate(audit.GateKSMCall, 0)()
 	// Entry leg: wrpkrs $0 + check.
 	g.phase("wrpkrs_leg", g.Costs.WrPKRSLeg)
 	if flt := g.CPU.Wrpkrs(0); flt != nil {
@@ -142,6 +156,7 @@ func (s *Switcher) Hypercall(nr int, args ...uint64) (uint64, error) {
 	g.KSM.Stats.Hypercalls++
 	span := g.Rec.Begin("switcher_hypercall")
 	defer g.Rec.End(span)
+	defer g.gate(audit.GateHypercall, uint64(nr))()
 	g.phase("wrpkrs_leg", 2*g.Costs.WrPKRSLeg)
 	g.phase("regs_swap", 2*g.Costs.RegsSwap)
 	g.phase("pt_switch", 2*g.Costs.PTSwitch)
@@ -240,6 +255,7 @@ func (s *Switcher) interruptGateBody(f *hw.Frame) {
 func (s *Switcher) HardwareInterrupt(vector int) error {
 	g := s.Gate
 	s.forged = nil
+	defer g.gate(audit.GateInterrupt, uint64(vector))()
 	frame, flt := g.CPU.DeliverHW(vector, 0)
 	if flt != nil {
 		return flt

@@ -17,6 +17,7 @@ package guest
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/faults"
 	"repro/internal/hw"
@@ -185,6 +186,10 @@ type Kernel struct {
 	// not change any flow's virtual cost.
 	Spans *trace.SpanRecorder
 	Met   *metrics.FlowMetrics
+	// Audit, when non-nil, records mediated PTE updates (with old and
+	// readback values) and PTP retirements into the machine audit log.
+	// Nil-safe and clock-neutral like Spans/Met.
+	Audit *audit.Recorder
 	// VCPU is the virtual CPU this kernel currently runs on (0 on a
 	// single-core machine; updated by Container.MigrateVCPU).
 	VCPU int

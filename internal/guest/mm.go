@@ -3,6 +3,7 @@ package guest
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/faults"
 	"repro/internal/hw"
@@ -124,10 +125,26 @@ func (k *Kernel) mapper(as *AddrSpace) *pagetable.Mapper {
 		},
 		Sink: func(level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
 			k.Stats.PTEWrites++
-			if k.fire(faults.PTEWrite) {
-				return k.corruptPTEWrite(as, level, va, ptp, idx, v)
+			// The old/readback pair brackets the mediated store so the
+			// audit log captures both KSM rejections (old == readback)
+			// and injected corruption (readback != requested value).
+			// Guarded: the extra reads cost no virtual time but are not
+			// free in wall time, so skip them when nobody records.
+			var old uint64
+			if k.Audit != nil {
+				old = k.Mem.Page(ptp)[idx]
 			}
-			return k.PV.WritePTE(k, as, level, va, ptp, idx, v)
+			var err error
+			if k.fire(faults.PTEWrite) {
+				err = k.corruptPTEWrite(as, level, va, ptp, idx, v)
+			} else {
+				err = k.PV.WritePTE(k, as, level, va, ptp, idx, v)
+			}
+			if k.Audit != nil {
+				k.Audit.Emit(audit.EvPTEWrite, k.VCPU, as.PCID,
+					audit.PackPTESlot(uint64(ptp), idx, level), old, k.Mem.Page(ptp)[idx])
+			}
+			return err
 		},
 	}
 }
@@ -518,6 +535,7 @@ func (k *Kernel) DestroyAddrSpace(as *AddrSpace) error {
 		if err := k.PV.RetirePTP(k, as, ptp); err != nil {
 			return err
 		}
+		k.Audit.Emit(audit.EvPTPRetire, k.VCPU, as.PCID, uint64(ptp), 0, 0)
 		k.PV.FreeFrame(k, ptp)
 	}
 	as.ptps = nil

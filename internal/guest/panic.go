@@ -42,6 +42,12 @@ func (k *Kernel) Died() bool { return k.dead }
 // PanicReason returns the panic message of a died kernel ("" if alive).
 func (k *Kernel) PanicReason() string { return k.panicMsg }
 
+// Fire consults the fault plan at one injection site on behalf of a
+// layer outside the guest kernel (the backends virtual-interrupt path
+// uses it for faults.IRQDrop), with the same counting and tracing as
+// the kernel's own sites.
+func (k *Kernel) Fire(site faults.Site) bool { return k.fire(site) }
+
 // fire consults the fault plan at one injection site, counting and
 // tracing a firing. Returns false when no injector is attached, the
 // kernel is already dead, or the plan does not trigger.

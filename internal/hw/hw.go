@@ -19,6 +19,7 @@ package hw
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/mem"
 )
 
@@ -159,6 +160,11 @@ type CPU struct {
 	// Halted is set by Hlt and cleared by interrupt delivery.
 	Halted bool
 
+	// Audit, when non-nil, records every architectural event this CPU
+	// retires or raises into the machine audit log. Nil-safe and free
+	// of virtual-time cost, like the package itself.
+	Audit *audit.Recorder
+
 	// Ops counts successfully retired privileged instructions, feeding
 	// the metrics registry's per-vCPU instruction-mix gauges. Plain
 	// counters: reading them costs no virtual time.
@@ -243,10 +249,32 @@ func (c *CPU) guestDeprivileged() bool {
 // instruction is in the destructive set.
 func (c *CPU) checkPriv(instr string, blockedUnderPKS bool) *Fault {
 	if c.mode != ModeKernel {
-		return &Fault{Kind: FaultGP, Instr: instr, Mode: c.mode}
+		return c.raise(&Fault{Kind: FaultGP, Instr: instr, Mode: c.mode})
 	}
 	if blockedUnderPKS && c.guestDeprivileged() {
-		return &Fault{Kind: FaultPKSBlocked, Instr: instr, Mode: c.mode}
+		return c.raise(&Fault{Kind: FaultPKSBlocked, Instr: instr, Mode: c.mode})
 	}
 	return nil
+}
+
+// emit records one machine event attributed to this CPU.
+func (c *CPU) emit(k audit.Kind, a, b, v uint64) {
+	c.Audit.Emit(k, c.ID, c.pcid, a, b, v)
+}
+
+// raise funnels every fault the CPU constructs through one audit
+// chokepoint, so the log carries each #GP/#PF/triple-fault exactly once.
+func (c *CPU) raise(f *Fault) *Fault {
+	if f != nil {
+		c.emit(audit.EvFault, uint64(f.Kind), f.Addr,
+			audit.PackFaultFlags(f.Write, f.Mode == ModeKernel))
+	}
+	return f
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,6 +1,9 @@
 package hw
 
-import "repro/internal/mem"
+import (
+	"repro/internal/audit"
+	"repro/internal/mem"
+)
 
 // This file implements the privileged-instruction surface of Table 3.
 // Every method returns a *Fault when the current mode or PKS state
@@ -42,7 +45,9 @@ func (c *CPU) Wrmsr(msr uint32, v uint64) *Fault {
 	if f := c.checkPriv("wrmsr", true); f != nil {
 		return f
 	}
+	old := c.msr[msr]
 	c.msr[msr] = v
+	c.emit(audit.EvWriteMSR, uint64(msr), v, old)
 	return nil
 }
 
@@ -71,7 +76,9 @@ func (c *CPU) WriteCR0(v uint64) *Fault {
 	if f := c.checkPriv("mov cr0,r", true); f != nil {
 		return f
 	}
+	old := c.cr0
 	c.cr0 = v
+	c.emit(audit.EvWriteCR0, v, old, 0)
 	return nil
 }
 
@@ -80,7 +87,9 @@ func (c *CPU) WriteCR4(v uint64) *Fault {
 	if f := c.checkPriv("mov cr4,r", true); f != nil {
 		return f
 	}
+	old := c.cr4
 	c.cr4 = v
+	c.emit(audit.EvWriteCR4, v, old, 0)
 	return nil
 }
 
@@ -91,9 +100,12 @@ func (c *CPU) WriteCR3(root mem.PFN, pcid uint16) *Fault {
 	if f := c.checkPriv("mov cr3,r", true); f != nil {
 		return f
 	}
+	oldRoot, oldPCID := c.cr3, c.pcid
 	c.cr3 = root
 	c.pcid = pcid
 	c.Ops.WriteCR3++
+	c.emit(audit.EvWriteCR3, uint64(root), uint64(pcid),
+		uint64(oldRoot)<<16|uint64(oldPCID))
 	return nil
 }
 
@@ -132,6 +144,7 @@ func (c *CPU) Invlpg(va uint64) *Fault {
 	if c.tlbHooks.Invlpg != nil {
 		c.tlbHooks.Invlpg(c.pcid, va)
 	}
+	c.emit(audit.EvTLBFlushPage, va, 0, 0)
 	return nil
 }
 
@@ -145,6 +158,7 @@ func (c *CPU) Invpcid(pcid uint16) *Fault {
 	if c.tlbHooks.Invpcid != nil {
 		c.tlbHooks.Invpcid(pcid)
 	}
+	c.emit(audit.EvTLBFlushPCID, uint64(pcid), 0, 0)
 	return nil
 }
 
@@ -168,6 +182,7 @@ func (c *CPU) WriteICR(target, vector int) *Fault {
 		return f
 	}
 	c.Ops.WriteICR++
+	c.emit(audit.EvWriteICR, uint64(target), uint64(vector), 0)
 	if c.ipiHook != nil {
 		c.ipiHook(target, vector)
 	}
@@ -193,10 +208,11 @@ func (c *CPU) Swapgs() *Fault {
 // runs with PKRS_GUEST already loaded, §4.2).
 func (c *CPU) Syscall() *Fault {
 	if c.mode != ModeUser {
-		return &Fault{Kind: FaultGP, Instr: "syscall", Mode: c.mode}
+		return c.raise(&Fault{Kind: FaultGP, Instr: "syscall", Mode: c.mode})
 	}
 	c.mode = ModeKernel
 	c.Ops.Syscall++
+	c.emit(audit.EvSyscall, 0, 0, 0)
 	return nil
 }
 
@@ -208,12 +224,15 @@ func (c *CPU) Sysret(wantIF bool) *Fault {
 	if f := c.checkPriv("sysret", false); f != nil {
 		return f
 	}
+	forced := false
 	if c.guestDeprivileged() {
+		forced = !wantIF
 		wantIF = true // hardware extension: IF forced on
 	}
 	c.intEnabled = wantIF
 	c.mode = ModeUser
 	c.Ops.Sysret++
+	c.emit(audit.EvSysret, b2u(wantIF), b2u(forced), 0)
 	return nil
 }
 
@@ -288,8 +307,10 @@ func (c *CPU) Smsw() (uint64, *Fault) {
 
 // Wrpkru writes PKRU; it is unprivileged, as on stock hardware.
 func (c *CPU) Wrpkru(v PKReg) {
+	old := c.pkru
 	c.pkru = v
 	c.Ops.Wrpkru++
+	c.emit(audit.EvWritePKRU, uint64(v), uint64(old), 0)
 }
 
 // Wrpkrs is CKI's new instruction: it writes PKRS from kernel mode
@@ -298,13 +319,15 @@ func (c *CPU) Wrpkru(v PKReg) {
 // stock CPUs must use WrmsrPKRS.
 func (c *CPU) Wrpkrs(v PKReg) *Fault {
 	if c.mode != ModeKernel {
-		return &Fault{Kind: FaultGP, Instr: "wrpkrs", Mode: c.mode}
+		return c.raise(&Fault{Kind: FaultGP, Instr: "wrpkrs", Mode: c.mode})
 	}
 	if !c.PKSExt {
-		return &Fault{Kind: FaultGP, Instr: "wrpkrs (unsupported)", Mode: c.mode}
+		return c.raise(&Fault{Kind: FaultGP, Instr: "wrpkrs (unsupported)", Mode: c.mode})
 	}
+	old := c.pkrs
 	c.pkrs = v
 	c.Ops.Wrpkrs++
+	c.emit(audit.EvWritePKRS, uint64(v), uint64(old), audit.PKRSCauseWrpkrs)
 	return nil
 }
 
@@ -314,6 +337,8 @@ func (c *CPU) WrmsrPKRS(v PKReg) *Fault {
 	if f := c.checkPriv("wrmsr(pkrs)", true); f != nil {
 		return f
 	}
+	old := c.pkrs
 	c.pkrs = v
+	c.emit(audit.EvWritePKRS, uint64(v), uint64(old), audit.PKRSCauseWrmsr)
 	return nil
 }

@@ -1,5 +1,7 @@
 package hw
 
+import "repro/internal/audit"
+
 // This file models interrupt vectoring: the IDT, hardware delivery with
 // the IST stack switch, CKI's PKRS save-and-clear extension, and iret.
 
@@ -70,15 +72,15 @@ func (c *CPU) PendingOnIF() bool { return !c.intEnabled }
 // is empty, or the frame push would hit an invalid stack without IST.
 func (c *CPU) DeliverHW(vector int, errCode uint64) (*Frame, *Fault) {
 	if c.idt == nil {
-		return nil, &Fault{Kind: FaultTriple, Instr: "intr(no idt)"}
+		return nil, c.raise(&Fault{Kind: FaultTriple, Instr: "intr(no idt)"})
 	}
 	e := c.idt.Get(vector)
 	if e.Handler == nil {
-		return nil, &Fault{Kind: FaultTriple, Instr: "intr(empty gate)"}
+		return nil, c.raise(&Fault{Kind: FaultTriple, Instr: "intr(empty gate)"})
 	}
 	if !e.UseIST && !c.stackValid {
 		// Frame push onto garbage rsp: unrecoverable.
-		return nil, &Fault{Kind: FaultTriple, Instr: "intr(bad stack)"}
+		return nil, c.raise(&Fault{Kind: FaultTriple, Instr: "intr(bad stack)"})
 	}
 	f := &Frame{
 		Vector:    vector,
@@ -88,8 +90,10 @@ func (c *CPU) DeliverHW(vector int, errCode uint64) (*Frame, *Fault) {
 		SavedMode: c.mode,
 		HW:        true,
 	}
+	c.emit(audit.EvInterrupt, uint64(vector), audit.IntClassHW, errCode)
 	if c.PKSExt {
 		c.pkrs = 0 // hardware extension: clear PKRS on HW interrupt entry
+		c.emit(audit.EvWritePKRS, 0, uint64(f.SavedPKRS), audit.PKRSCauseIntClear)
 	}
 	c.intEnabled = false
 	c.mode = ModeKernel
@@ -108,7 +112,7 @@ func (c *CPU) RunGate(f *Frame) {
 // through int-n (§4.4).
 func (c *CPU) SoftwareInt(vector int) (*Frame, *Fault) {
 	if c.idt == nil || c.idt.Get(vector).Handler == nil {
-		return nil, &Fault{Kind: FaultGP, Instr: "int n"}
+		return nil, c.raise(&Fault{Kind: FaultGP, Instr: "int n"})
 	}
 	f := &Frame{
 		Vector:    vector,
@@ -117,6 +121,7 @@ func (c *CPU) SoftwareInt(vector int) (*Frame, *Fault) {
 		SavedMode: c.mode,
 		HW:        false,
 	}
+	c.emit(audit.EvInterrupt, uint64(vector), audit.IntClassSoft, 0)
 	c.intEnabled = false
 	c.mode = ModeKernel
 	return f, nil
@@ -130,7 +135,7 @@ func (c *CPU) SoftwareInt(vector int) (*Frame, *Fault) {
 // the guest handler runs deprivileged (§4.2).
 func (c *CPU) DeliverException(vector int, errCode uint64, toKSM bool) (*Frame, *Fault) {
 	if c.idt == nil || c.idt.Get(vector).Handler == nil {
-		return nil, &Fault{Kind: FaultTriple, Instr: "exception(empty gate)"}
+		return nil, c.raise(&Fault{Kind: FaultTriple, Instr: "exception(empty gate)"})
 	}
 	f := &Frame{
 		Vector:    vector,
@@ -140,8 +145,10 @@ func (c *CPU) DeliverException(vector int, errCode uint64, toKSM bool) (*Frame, 
 		SavedMode: c.mode,
 		HW:        toKSM,
 	}
+	c.emit(audit.EvInterrupt, uint64(vector), audit.IntClassException, errCode)
 	if toKSM && c.PKSExt {
 		c.pkrs = 0
+		c.emit(audit.EvWritePKRS, 0, uint64(f.SavedPKRS), audit.PKRSCauseIntClear)
 	}
 	c.mode = ModeKernel
 	return f, nil
@@ -158,11 +165,14 @@ func (c *CPU) Iret(f *Frame) *Fault {
 	c.mode = f.SavedMode
 	c.intEnabled = f.SavedIF
 	c.Ops.Iret++
+	c.emit(audit.EvIret, uint64(f.Vector), b2u(f.SavedIF), 0)
 	if c.PKSExt {
 		// Extension (§4.2): iret may modify PKRS, restoring the value
 		// saved at delivery so the return to a deprivileged guest needs
 		// no trailing wrpkrs.
+		old := c.pkrs
 		c.pkrs = f.SavedPKRS
+		c.emit(audit.EvWritePKRS, uint64(f.SavedPKRS), uint64(old), audit.PKRSCauseIretRest)
 	}
 	return nil
 }

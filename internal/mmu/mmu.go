@@ -11,6 +11,7 @@
 package mmu
 
 import (
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/hw"
 	"repro/internal/mem"
@@ -46,6 +47,20 @@ type Unit struct {
 	Mem   *mem.PhysMem
 	TLB   *tlb.TLB
 	Costs *clock.Costs
+
+	// Audit, when non-nil, records TLB fills and translation faults into
+	// the machine audit log. Nil-safe and free of virtual-time cost.
+	Audit *audit.Recorder
+}
+
+// fault stamps a translation fault into the audit log and returns it,
+// so every #PF the walk raises appears in the event stream exactly once.
+func (u *Unit) fault(cpu *hw.CPU, f *hw.Fault) *hw.Fault {
+	if f != nil {
+		u.Audit.Emit(audit.EvFault, cpu.ID, cpu.PCID(), uint64(f.Kind), f.Addr,
+			audit.PackFaultFlags(f.Write, f.Mode == hw.ModeKernel))
+	}
+	return f
 }
 
 // Dim selects the TLB-miss cost class for a translation regime.
@@ -127,7 +142,7 @@ func (u *Unit) Access(clk *clock.Clock, cpu *hw.CPU, root mem.PFN, va uint64, ac
 	pcid := cpu.PCID()
 	if e, ok := u.TLB.Lookup(pcid, va); ok {
 		if f := Check(cpu, e, va, acc); f != nil {
-			return Result{}, f
+			return Result{}, u.fault(cpu, f)
 		}
 		off := va & mem.PageMask
 		if e.Huge {
@@ -137,7 +152,7 @@ func (u *Unit) Access(clk *clock.Clock, cpu *hw.CPU, root mem.PFN, va uint64, ac
 	}
 	w, err := pagetable.Translate(u.Mem, root, va)
 	if err != nil {
-		return Result{}, &hw.Fault{Kind: hw.FaultNotMapped, Addr: va, Write: acc == Write, Mode: cpu.Mode()}
+		return Result{}, u.fault(cpu, &hw.Fault{Kind: hw.FaultNotMapped, Addr: va, Write: acc == Write, Mode: cpu.Mode()})
 	}
 	clk.Advance(u.missCost(d, w.Huge))
 	e := tlb.Entry{
@@ -152,7 +167,7 @@ func (u *Unit) Access(clk *clock.Clock, cpu *hw.CPU, root mem.PFN, va uint64, ac
 	if f := Check(cpu, e, va, acc); f != nil {
 		// Permission faults are detected during the walk; nothing is
 		// cached (hardware does not cache faulting translations).
-		return Result{}, f
+		return Result{}, u.fault(cpu, f)
 	}
 	pagetable.SetAccessedDirty(u.Mem, w, acc == Write)
 	if w.Huge {
@@ -160,6 +175,8 @@ func (u *Unit) Access(clk *clock.Clock, cpu *hw.CPU, root mem.PFN, va uint64, ac
 		e.PFN = mem.PFNOf(w.PA &^ uint64(mem.HugePageSize-1))
 	}
 	u.TLB.Insert(pcid, va, e)
+	u.Audit.Emit(audit.EvTLBFill, cpu.ID, pcid, va,
+		audit.PackTLBEntry(uint64(e.PFN), e.Writable, e.User, e.NX, e.Global, e.Huge, e.PKey), 0)
 	return Result{PA: w.PA, Missed: true}, nil
 }
 

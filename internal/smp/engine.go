@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/faults"
 	"repro/internal/hw"
@@ -99,6 +100,9 @@ type Engine struct {
 	// legs inline, remote service as async spans). Nil-safe; never
 	// advances the clock.
 	Rec *trace.SpanRecorder
+	// Audit, when non-nil, records IPI and shootdown-protocol events
+	// into the machine audit log. Nil-safe; never advances the clock.
+	Audit *audit.Recorder
 	// ShootdownLat, when non-nil, observes per-shootdown initiator
 	// latency.
 	ShootdownLat *metrics.Histogram
@@ -147,6 +151,7 @@ func (e *Engine) Post(target, vector int) {
 	if target < 0 || target >= len(e.VCPUs) {
 		return
 	}
+	e.Audit.Emit(audit.EvIPISend, target, 0, uint64(vector), 0, 0)
 	e.VCPUs[target].IPI.Post(vector)
 }
 
@@ -239,7 +244,7 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 		}
 		if spec.Send != nil {
 			if err := spec.Send(unacked); err != nil {
-				return e.finish(root, start, unacked)
+				return e.finish(root, start, spec, unacked)
 			}
 		} else {
 			for range unacked {
@@ -271,7 +276,7 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 				continue
 			}
 			if err := e.serviceRemote(v, spec); err != nil {
-				return e.finish(root, start, unacked)
+				return e.finish(root, start, spec, unacked)
 			}
 			lat := e.remoteCost(t, spec)
 			delayed := false
@@ -281,6 +286,7 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 				delayed = true
 			}
 			e.emitRemote(spec, t, sendDone, lat, delayed, root)
+			e.Audit.Emit(audit.EvIPIAck, t, spec.PCID, uint64(lat), b2u(delayed), 0)
 			if lat > maxLat {
 				maxLat = lat
 			}
@@ -290,7 +296,7 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 		// the slowest ack plus one final poll of the mask.
 		e.phase("ack_spin", maxLat+e.Costs.ShootdownPoll)
 	}
-	return e.finish(root, start, unacked)
+	return e.finish(root, start, spec, unacked)
 }
 
 // emitRemote records one target's service as an async span at its true
@@ -319,8 +325,10 @@ func (e *Engine) emitRemote(spec ShootdownSpec, target int, at, lat clock.Time, 
 func (e *Engine) serviceRemote(v *VCPU, spec ShootdownSpec) error {
 	if spec.All {
 		v.MMU.TLB.FlushPCID(spec.PCID)
+		e.Audit.Emit(audit.EvTLBFlushPCID, v.ID, spec.PCID, uint64(spec.PCID), 0, 0)
 	} else {
 		v.MMU.TLB.FlushPage(spec.PCID, spec.VA)
+		e.Audit.Emit(audit.EvTLBFlushPage, v.ID, spec.PCID, spec.VA, 0, 0)
 	}
 	v.Stats.ShootdownIPIs++
 	v.Stats.AcksSent++
@@ -342,15 +350,23 @@ func (e *Engine) remoteCost(target int, spec ShootdownSpec) clock.Time {
 	return c.InterruptDeliver + inval + c.IPIAck + c.Iret
 }
 
-func (e *Engine) finish(span int, start clock.Time, unacked []int) (clock.Time, error) {
+func (e *Engine) finish(span int, start clock.Time, spec ShootdownSpec, unacked []int) (clock.Time, error) {
 	e.Rec.End(span)
 	e.Stats.Shootdowns++
 	lat := e.Clk.Now() - start
 	e.Stats.TotalLatency += lat
 	e.ShootdownLat.Observe(lat)
+	e.Audit.Emit(audit.EvShootdown, spec.Initiator, spec.PCID, uint64(lat), uint64(len(unacked)), 0)
 	if len(unacked) > 0 {
 		e.Stats.HungInitiators++
 		return lat, ErrShootdownHung
 	}
 	return lat, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }

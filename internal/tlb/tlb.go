@@ -200,3 +200,38 @@ func (t *TLB) FlushAll(keepGlobal bool) {
 
 // Len reports the number of live entries (for tests).
 func (t *TLB) Len() int { return len(t.entries) }
+
+// Capacity returns the configured entry capacity.
+func (t *TLB) Capacity() int { return t.capacity }
+
+// Slot is one live entry with its tag, for deterministic enumeration.
+type Slot struct {
+	PCID  uint16
+	VPN   uint64 // virtual page number (4 KiB or 2 MiB granularity)
+	Huge  bool
+	Entry Entry
+}
+
+// Entries returns every live entry sorted by (PCID, huge, VPN), so the
+// audit-replay tests can compare reconstructed TLB contents against a
+// live one deterministically.
+func (t *TLB) Entries() []Slot {
+	out := make([]Slot, 0, len(t.entries))
+	for k, e := range t.entries {
+		out = append(out, Slot{
+			PCID: k.pcid, VPN: k.vpn &^ (1 << 63),
+			Huge: k.vpn&(1<<63) != 0, Entry: e,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PCID != b.PCID {
+			return a.PCID < b.PCID
+		}
+		if a.Huge != b.Huge {
+			return !a.Huge
+		}
+		return a.VPN < b.VPN
+	})
+	return out
+}

@@ -13,6 +13,7 @@ package workloads
 
 import (
 	"math/rand"
+	"strings"
 
 	"repro/internal/backends"
 	"repro/internal/clock"
@@ -77,3 +78,28 @@ func measure(c *backends.Container, name string, ops int, fn func() error) (Resu
 
 // rng returns the deterministic PRNG for a workload.
 func rng() *rand.Rand { return rand.New(rand.NewSource(Seed)) }
+
+// Catalog returns the named-workload table shared by ckirun and
+// ckireplay -live: every evaluation workload at scale 1, keyed by the
+// CLI name users pass with -workload.
+func Catalog() map[string]Runner {
+	m := map[string]Runner{}
+	for _, a := range Fig12Apps(1) {
+		m[a.AppName] = a
+	}
+	for _, a := range Table4Apps(1) {
+		m[strings.ToLower(a.Name())] = a
+	}
+	for _, lc := range LMBenchCases(1) {
+		m["lmbench-"+lc.CaseName] = lc
+	}
+	for _, sc := range Fig14Cases(1) {
+		m["sqlite-"+sc.CaseName] = sc
+	}
+	m["memcached"] = Memcached(256)
+	m["redis"] = Redis(256)
+	for _, a := range Fig5Apps(1) {
+		m[a.AppName] = a
+	}
+	return m
+}
