@@ -7,6 +7,14 @@
 //	ckibench -scale 4        # larger workloads (slower, smoother)
 //	ckibench -list           # list experiment ids
 //
+// Grid experiments fan their independent cells out to host goroutines;
+// -parallel caps the fan-out (default GOMAXPROCS). Every artifact is
+// byte-identical for any -parallel value — cells are fully isolated
+// simulations on their own virtual clocks, assembled in a fixed order.
+//
+//	ckibench -exp smp -json -parallel 8
+//	ckibench -exp chaos -json -seeds 16 -parallel 8   # seed sweep
+//
 // The smp experiment can additionally emit observability artifacts
 // (all timestamps are virtual, so the bytes are identical across runs):
 //
@@ -19,10 +27,16 @@
 // invocation when throughput regresses beyond the tolerance:
 //
 //	ckibench -exp smp -baseline BENCH_smp.json
+//
+// The wallclock experiment measures the simulator itself (host ns/op,
+// allocs/op, parallel speedup) and emits the BENCH_wallclock artifact:
+//
+//	ckibench -exp wallclock > BENCH_wallclock.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,71 +87,127 @@ func gateBaseline(path string, cur *bench.SMPReport) {
 		100*bench.DefaultRegressionTolerance, path)
 }
 
+// config is the parsed flag set, separated from flag.Parse so the
+// validation rules are unit-testable.
+type config struct {
+	exp        string
+	scale      int
+	jsonOut    bool
+	traceOut   string
+	spansOut   string
+	metricsOut string
+	auditOut   string
+	baseline   string
+	parallel   int
+	seeds      int
+}
+
+// needProf reports whether any span/metrics artifact flag is set.
+func (c config) needProf() bool {
+	return c.traceOut != "" || c.spansOut != "" || c.metricsOut != ""
+}
+
+// validate returns a usage error (exit 2) for flag combinations that
+// would otherwise be silently ignored or are meaningless.
+func validate(c config) error {
+	if c.parallel < 1 {
+		return errors.New("-parallel must be >= 1")
+	}
+	if c.seeds < 1 {
+		return errors.New("-seeds must be >= 1")
+	}
+	if (c.needProf() || c.auditOut != "" || c.baseline != "") && c.exp != "smp" {
+		return errors.New("-trace-out/-spans-out/-metrics-out/-audit-out/-baseline require -exp smp")
+	}
+	if c.needProf() && c.auditOut != "" {
+		return errors.New("-audit-out cannot be combined with the span/metrics artifact flags")
+	}
+	if c.seeds > 1 && !(c.exp == "chaos" && c.jsonOut) {
+		return errors.New("-seeds requires -exp chaos -json")
+	}
+	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" {
+		return errors.New("-json is only supported with -exp chaos, smp, or wallclock")
+	}
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all)")
-	scale := flag.Int("scale", 1, "workload scale factor")
+	cfg := config{}
+	flag.StringVar(&cfg.exp, "exp", "", "experiment id (empty = all)")
+	flag.IntVar(&cfg.scale, "scale", 1, "workload scale factor")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.Bool("json", false, "emit a JSON report instead of a table (chaos and smp)")
-	traceOut := flag.String("trace-out", "", "with -exp smp: write a Chrome trace-event JSON to FILE")
-	spansOut := flag.String("spans-out", "", "with -exp smp: write the span profile JSON to FILE")
-	metricsOut := flag.String("metrics-out", "", "with -exp smp: write the metrics snapshot JSON to FILE")
-	auditOut := flag.String("audit-out", "", "with -exp smp: record the machine-event audit log to FILE")
-	baseline := flag.String("baseline", "", "with -exp smp: compare against a committed report and fail on >10% throughput regression")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit a JSON report instead of a table (chaos, smp, wallclock)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "with -exp smp: write a Chrome trace-event JSON to FILE")
+	flag.StringVar(&cfg.spansOut, "spans-out", "", "with -exp smp: write the span profile JSON to FILE")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "with -exp smp: write the metrics snapshot JSON to FILE")
+	flag.StringVar(&cfg.auditOut, "audit-out", "", "with -exp smp: record the machine-event audit log to FILE")
+	flag.StringVar(&cfg.baseline, "baseline", "", "with -exp smp: compare against a committed report and fail on >10% throughput regression")
+	flag.IntVar(&cfg.parallel, "parallel", bench.DefaultParallel(), "max grid cells run concurrently (artifacts are byte-identical for any value)")
+	flag.IntVar(&cfg.seeds, "seeds", 1, "with -exp chaos -json: sweep this many derived seeds")
 	flag.Parse()
 
-	needProf := *traceOut != "" || *spansOut != "" || *metricsOut != ""
-	if needProf || *auditOut != "" || *baseline != "" {
-		if *exp != "smp" {
-			fmt.Fprintln(os.Stderr, "ckibench: -trace-out/-spans-out/-metrics-out/-audit-out/-baseline require -exp smp")
-			os.Exit(2)
+	if err := validate(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
+		os.Exit(2)
+	}
+
+	if cfg.exp == "wallclock" {
+		rep, err := bench.RunWallclock(bench.WallclockOpts{Scale: cfg.scale})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: wallclock: %v\n", err)
+			os.Exit(1)
 		}
-		if needProf && *auditOut != "" {
-			fmt.Fprintln(os.Stderr, "ckibench: -audit-out cannot be combined with the span/metrics artifact flags")
-			os.Exit(2)
+		if err := bench.WriteWallclockJSON(rep, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: wallclock: %v\n", err)
+			os.Exit(1)
 		}
+		return
+	}
+
+	if cfg.needProf() || cfg.auditOut != "" || cfg.baseline != "" {
 		var rep *bench.SMPReport
 		switch {
-		case needProf:
-			prof, err := bench.RunSMPProfiled(*scale, bench.SMPSeed)
+		case cfg.needProf():
+			prof, err := bench.RunSMPProfiledParallel(cfg.scale, bench.SMPSeed, cfg.parallel)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 				os.Exit(1)
 			}
-			if *traceOut != "" {
-				writeFile(*traceOut, prof.ChromeJSON())
+			if cfg.traceOut != "" {
+				writeFile(cfg.traceOut, prof.ChromeJSON())
 			}
-			if *spansOut != "" {
+			if cfg.spansOut != "" {
 				b, err := prof.JSON()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
 					os.Exit(1)
 				}
-				writeFile(*spansOut, append(b, '\n'))
+				writeFile(cfg.spansOut, append(b, '\n'))
 			}
-			if *metricsOut != "" {
+			if cfg.metricsOut != "" {
 				b, err := prof.MetricsJSON()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
 					os.Exit(1)
 				}
-				writeFile(*metricsOut, append(b, '\n'))
+				writeFile(cfg.metricsOut, append(b, '\n'))
 			}
 			rep = prof.Report
-		case *auditOut != "":
+		case cfg.auditOut != "":
 			rec := audit.NewRecorder(nil)
 			var err error
-			rep, err = bench.RunSMPAudited(*scale, bench.SMPSeed, rec)
+			rep, err = bench.RunSMPAuditedParallel(cfg.scale, bench.SMPSeed, rec, cfg.parallel)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 				os.Exit(1)
 			}
-			if err := rec.WriteFile(*auditOut); err != nil {
+			if err := rec.WriteFile(cfg.auditOut); err != nil {
 				fmt.Fprintf(os.Stderr, "ckibench: %v\n", err)
 				os.Exit(1)
 			}
 		default:
 			var err error
-			rep, err = bench.RunSMP(*scale, bench.SMPSeed)
+			rep, err = bench.RunSMPParallel(cfg.scale, bench.SMPSeed, cfg.parallel)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 				os.Exit(1)
@@ -146,7 +216,7 @@ func main() {
 		// The report is byte-identical however it was produced (the
 		// observers are clock-neutral), so the usual outputs remain
 		// available in the same invocation.
-		if *jsonOut {
+		if cfg.jsonOut {
 			if err := bench.WriteSMPReportJSON(rep, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 				os.Exit(1)
@@ -155,25 +225,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ckibench: smp: %v\n", err)
 			os.Exit(1)
 		}
-		if *baseline != "" {
-			gateBaseline(*baseline, rep)
+		if cfg.baseline != "" {
+			gateBaseline(cfg.baseline, rep)
 		}
 		return
 	}
 
-	if *jsonOut {
+	if cfg.jsonOut {
 		var emit func(int, io.Writer) error
-		switch *exp {
+		switch cfg.exp {
 		case "chaos":
-			emit = bench.ChaosJSON
+			if cfg.seeds > 1 {
+				emit = func(s int, w io.Writer) error {
+					return bench.ChaosSweepJSON(s, cfg.seeds, cfg.parallel, w)
+				}
+			} else {
+				emit = bench.ChaosJSON
+			}
 		case "smp":
-			emit = bench.SMPJSON
-		default:
-			fmt.Fprintln(os.Stderr, "ckibench: -json is only supported with -exp chaos or -exp smp")
-			os.Exit(2)
+			emit = func(s int, w io.Writer) error {
+				return bench.SMPJSONParallel(s, cfg.parallel, w)
+			}
 		}
-		if err := emit(*scale, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "ckibench: %s: %v\n", *exp, err)
+		if err := emit(cfg.scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: %s: %v\n", cfg.exp, err)
 			os.Exit(1)
 		}
 		return
@@ -188,19 +263,19 @@ func main() {
 	}
 	run := func(e bench.Experiment) {
 		fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
-		if err := e.Run(*scale, os.Stdout); err != nil {
+		if err := e.Run(cfg.scale, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 	}
-	if *exp != "" {
+	if cfg.exp != "" {
 		for _, e := range everything {
-			if e.ID == *exp {
+			if e.ID == cfg.exp {
 				run(e)
 				return
 			}
 		}
-		fmt.Fprintf(os.Stderr, "ckibench: unknown experiment %q (try -list)\n", *exp)
+		fmt.Fprintf(os.Stderr, "ckibench: unknown experiment %q (try -list)\n", cfg.exp)
 		os.Exit(2)
 	}
 	for _, e := range everything {

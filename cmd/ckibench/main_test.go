@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+// TestValidate covers every usage-error rule: flag combinations that
+// used to be silently ignored must now be rejected (exit 2 in main).
+func TestValidate(t *testing.T) {
+	ok := func(c config) config {
+		if c.parallel == 0 {
+			c.parallel = 1
+		}
+		if c.seeds == 0 {
+			c.seeds = 1
+		}
+		return c
+	}
+	cases := []struct {
+		name    string
+		cfg     config
+		wantErr bool
+	}{
+		{"defaults", ok(config{}), false},
+		{"smp json", ok(config{exp: "smp", jsonOut: true}), false},
+		{"chaos json", ok(config{exp: "chaos", jsonOut: true}), false},
+		{"wallclock json", ok(config{exp: "wallclock", jsonOut: true}), false},
+		{"smp artifacts", ok(config{exp: "smp", traceOut: "t.json", spansOut: "s.json", metricsOut: "m.json"}), false},
+		{"smp audit", ok(config{exp: "smp", auditOut: "a.log"}), false},
+		{"smp baseline", ok(config{exp: "smp", baseline: "b.json"}), false},
+		{"chaos sweep", ok(config{exp: "chaos", jsonOut: true, seeds: 16}), false},
+		{"parallel 8", ok(config{exp: "smp", jsonOut: true, parallel: 8}), false},
+
+		{"parallel 0", config{parallel: 0, seeds: 1}, true},
+		{"parallel negative", config{parallel: -2, seeds: 1}, true},
+		{"seeds 0", config{parallel: 1, seeds: 0}, true},
+		{"trace-out without smp", ok(config{traceOut: "t.json"}), true},
+		{"spans-out wrong exp", ok(config{exp: "chaos", spansOut: "s.json"}), true},
+		{"metrics-out wrong exp", ok(config{exp: "fig12", metricsOut: "m.json"}), true},
+		{"audit-out without smp", ok(config{auditOut: "a.log"}), true},
+		{"baseline without smp", ok(config{exp: "chaos", baseline: "b.json"}), true},
+		{"audit-out with prof flags", ok(config{exp: "smp", traceOut: "t.json", auditOut: "a.log"}), true},
+		{"seeds without chaos", ok(config{exp: "smp", jsonOut: true, seeds: 4}), true},
+		{"seeds without json", ok(config{exp: "chaos", seeds: 4}), true},
+		{"json wrong exp", ok(config{exp: "fig12", jsonOut: true}), true},
+		{"json all experiments", ok(config{jsonOut: true}), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(tc.cfg)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("validate(%+v) = %v, wantErr=%v", tc.cfg, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -383,6 +383,11 @@ type Recorder struct {
 
 	events  []Event
 	tlbSeen map[*tlb.TLB]bool
+
+	// encBuf is the reused per-recorder record-encoding buffer;
+	// EncodeTo streams every event through it so encoding a record
+	// allocates nothing.
+	encBuf [recordSize]byte
 }
 
 // NewRecorder creates a recorder stamping events from clk (which may be
@@ -420,6 +425,42 @@ func (r *Recorder) EmitTLBConfig(t *tlb.TLB, vcpu int) {
 	}
 	r.tlbSeen[t] = true
 	r.Emit(EvTLBConfig, vcpu, 0, uint64(t.Capacity()), 0, 0)
+}
+
+// Reserve ensures room for n more events without reallocating, so a
+// steady-state recording loop can run allocation-free (the wall-clock
+// benchmarks pin Emit at 0 allocs/op after a Reserve).
+func (r *Recorder) Reserve(n int) {
+	if r == nil || cap(r.events)-len(r.events) >= n {
+		return
+	}
+	grown := make([]Event, len(r.events), len(r.events)+n)
+	copy(grown, r.events)
+	r.events = grown
+}
+
+// Reset drops all recorded events and TLB dedup state but keeps the
+// event buffer's capacity, so a recorder can be reused across runs
+// without re-paying the allocation.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+	for k := range r.tlbSeen {
+		delete(r.tlbSeen, k)
+	}
+}
+
+// AppendFrom appends src's events, in order, onto r. The parallel
+// experiment runner records each grid cell into its own recorder and
+// then concatenates them in the fixed sequential cell order, so the
+// merged log is byte-identical to a single-recorder sequential run.
+func (r *Recorder) AppendFrom(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	r.events = append(r.events, src.events...)
 }
 
 // Events returns the recorded events in order (a copy).

@@ -1,9 +1,11 @@
 package audit
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/clock"
@@ -58,6 +60,20 @@ type Log struct {
 	Events []Event
 }
 
+// encodeRecord packs one event into buf (little-endian v1 layout).
+func encodeRecord(buf *[recordSize]byte, e Event) {
+	buf[0] = byte(e.Kind)
+	buf[1] = e.VCPU
+	binary.LittleEndian.PutUint16(buf[2:4], e.PCID)
+	for i := 4; i < 8; i++ {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(e.At)))
+	binary.LittleEndian.PutUint64(buf[16:24], e.A)
+	binary.LittleEndian.PutUint64(buf[24:32], e.B)
+	binary.LittleEndian.PutUint64(buf[32:40], e.C)
+}
+
 // Marshal encodes a log in the v1 binary format.
 func Marshal(meta Meta, events []Event) []byte {
 	mj, err := json.Marshal(meta)
@@ -69,15 +85,9 @@ func Marshal(meta Meta, events []Event) []byte {
 	out = append(out, logMagic...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(mj)))
 	out = append(out, mj...)
+	var rec [recordSize]byte
 	for _, e := range events {
-		var rec [recordSize]byte
-		rec[0] = byte(e.Kind)
-		rec[1] = e.VCPU
-		binary.LittleEndian.PutUint16(rec[2:4], e.PCID)
-		binary.LittleEndian.PutUint64(rec[8:16], uint64(int64(e.At)))
-		binary.LittleEndian.PutUint64(rec[16:24], e.A)
-		binary.LittleEndian.PutUint64(rec[24:32], e.B)
-		binary.LittleEndian.PutUint64(rec[32:40], e.C)
+		encodeRecord(&rec, e)
 		out = append(out, rec[:]...)
 	}
 	return out
@@ -91,9 +101,56 @@ func (r *Recorder) Marshal() []byte {
 	return Marshal(r.Meta, r.events)
 }
 
-// WriteFile writes the recorder's log to path.
+// EncodeTo streams the recorder's log to w in the v1 binary format,
+// producing exactly the bytes Marshal would. Every record goes through
+// the recorder's reused 40-byte buffer, so the per-record encoding cost
+// is a fixed-size copy with zero heap allocation — only the one-time
+// header (meta JSON) allocates.
+func (r *Recorder) EncodeTo(w io.Writer) error {
+	if r == nil {
+		_, err := w.Write(Marshal(Meta{}, nil))
+		return err
+	}
+	mj, err := json.Marshal(r.Meta)
+	if err != nil {
+		// Meta is a plain struct of scalars; this cannot fail.
+		panic(err)
+	}
+	var hdr [len(logMagic) + 4]byte
+	copy(hdr[:], logMagic)
+	binary.LittleEndian.PutUint32(hdr[len(logMagic):], uint32(len(mj)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(mj); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		encodeRecord(&r.encBuf, e)
+		if _, err := w.Write(r.encBuf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile streams the recorder's log to path (same bytes as Marshal,
+// without materializing the whole log in memory).
 func (r *Recorder) WriteFile(path string) error {
-	return os.WriteFile(path, r.Marshal(), 0o644)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := r.EncodeTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Unmarshal parses a v1 binary log.

@@ -150,6 +150,9 @@ type Container struct {
 	// machines); vcpu is the vCPU the container currently runs on.
 	smp  *smp.Engine
 	vcpu int
+	// sdTargets is the reused shootdown broadcast target buffer (one
+	// per container; emitShootdown refills it in place per call).
+	sdTargets []int
 }
 
 // backendPV extends guest.Paravirt with backend-level services the
@@ -474,7 +477,8 @@ func (c *Container) emitShootdown(k *guest.Kernel, spec smp.ShootdownSpec) {
 		return
 	}
 	spec.Initiator = c.vcpu
-	spec.Targets = c.smp.Others(c.vcpu, c.Opts.NumVCPU)
+	c.sdTargets = c.smp.OthersInto(c.sdTargets[:0], c.vcpu, c.Opts.NumVCPU)
+	spec.Targets = c.sdTargets
 	if len(spec.Targets) == 0 {
 		return
 	}
@@ -552,12 +556,13 @@ type vcpuAware interface{ setVCPU(v int) }
 // sum equals InterruptDeliver + Invlpg + IPIAck + Iret exactly, so
 // span-level accounting matches the engine's charged latency.
 func nativeRemotePhases(c *clock.Costs) func(int) []smp.PhaseCost {
-	return func(int) []smp.PhaseCost {
-		return []smp.PhaseCost{
-			{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
-			{Name: "invlpg", Cost: c.Invlpg},
-			{Name: "ipi_ack", Cost: c.IPIAck},
-			{Name: "iret", Cost: c.Iret},
-		}
+	// Costs are fixed once the machine boots, so the decomposition is
+	// interned: one slice per container, not one per recorded shootdown.
+	phases := []smp.PhaseCost{
+		{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+		{Name: "invlpg", Cost: c.Invlpg},
+		{Name: "ipi_ack", Cost: c.IPIAck},
+		{Name: "iret", Cost: c.Iret},
 	}
+	return func(int) []smp.PhaseCost { return phases }
 }

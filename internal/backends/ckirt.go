@@ -32,6 +32,13 @@ type ckiPV struct {
 	// selects the per-vCPU top-level copy and secure stack (Fig. 8c).
 	vcpu   int
 	sealed bool
+
+	// sd caches the shootdown spec so EmitShootdown allocates nothing
+	// per downgrade; sdK/sdRoot carry the in-flight call's kernel and
+	// address-space root.
+	sd     smp.ShootdownSpec
+	sdK    *guest.Kernel
+	sdRoot mem.PFN
 }
 
 func newCKIPV(c *Container, id int) (*ckiPV, error) {
@@ -95,38 +102,40 @@ func (b *ckiPV) migrationCost() clock.Time {
 // twist — has the KSM refresh that vCPU's top-level PTP copy, so a
 // downgraded PML4 entry cannot survive in a sibling's private copy.
 func (b *ckiPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
-	c := b.c.Costs
-	b.c.emitShootdown(k, smp.ShootdownSpec{
-		PCID: as.PCID,
-		VA:   va,
-		Send: func(targets []int) error {
-			mode := k.CPU.Mode()
-			k.CPU.SetMode(hw.ModeKernel)
-			defer k.CPU.SetMode(mode)
-			_, err := b.sw.Hypercall(host.HcSendIPI,
-				vcpuMask(targets), uint64(hw.VectorIPI))
-			return err
-		},
-		RemoteCost: func(int) clock.Time {
-			// Extended delivery on the remote: deliver, invlpg, the KSM's
-			// copy re-verification, ack write, extended iret.
-			return c.InterruptDeliver + c.Invlpg + c.KSMPTEVerify +
-				c.IPIAck + c.Iret
-		},
-		RemotePhases: func(int) []smp.PhaseCost {
-			return []smp.PhaseCost{
-				{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
-				{Name: "invlpg", Cost: c.Invlpg},
-				{Name: "ksm_reverify", Cost: c.KSMPTEVerify},
-				{Name: "ipi_ack", Cost: c.IPIAck},
-				{Name: "iret", Cost: c.Iret},
-			}
-		},
-		RemoteFlush: func(v *smp.VCPU) error {
-			_, err := b.ksm.RefreshTopCopy(as.Root, v.ID)
-			return err
-		},
-	})
+	if b.sd.Send == nil {
+		c := b.c.Costs
+		// Extended delivery on the remote: deliver, invlpg, the KSM's
+		// copy re-verification, ack write, extended iret.
+		remoteCost := c.InterruptDeliver + c.Invlpg + c.KSMPTEVerify +
+			c.IPIAck + c.Iret
+		phases := []smp.PhaseCost{
+			{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+			{Name: "invlpg", Cost: c.Invlpg},
+			{Name: "ksm_reverify", Cost: c.KSMPTEVerify},
+			{Name: "ipi_ack", Cost: c.IPIAck},
+			{Name: "iret", Cost: c.Iret},
+		}
+		b.sd = smp.ShootdownSpec{
+			Send: func(targets []int) error {
+				k := b.sdK
+				mode := k.CPU.Mode()
+				k.CPU.SetMode(hw.ModeKernel)
+				defer k.CPU.SetMode(mode)
+				_, err := b.sw.Hypercall(host.HcSendIPI,
+					vcpuMask(targets), uint64(hw.VectorIPI))
+				return err
+			},
+			RemoteCost:   func(int) clock.Time { return remoteCost },
+			RemotePhases: func(int) []smp.PhaseCost { return phases },
+			RemoteFlush: func(v *smp.VCPU) error {
+				_, err := b.ksm.RefreshTopCopy(b.sdRoot, v.ID)
+				return err
+			},
+		}
+	}
+	b.sdK, b.sdRoot = k, as.Root
+	b.sd.PCID, b.sd.VA = as.PCID, va
+	b.c.emitShootdown(k, b.sd)
 }
 
 // Switcher exposes the host gate (attack simulations).

@@ -27,6 +27,11 @@ type gvisorPV struct {
 
 	// Sentry statistics.
 	SystrapRoundTrips uint64
+
+	// sd caches the shootdown spec so EmitShootdown allocates nothing
+	// per downgrade; sdK is the kernel of the in-flight call.
+	sd  smp.ShootdownSpec
+	sdK *guest.Kernel
 }
 
 func newGVisorPV(c *Container, id int) (*gvisorPV, error) {
@@ -164,27 +169,31 @@ func (b *gvisorPV) migrationCost() clock.Time {
 // EmitShootdown: the Sentry cannot touch the ICR itself — it asks the
 // host (membarrier/munmap path), which then broadcasts natively.
 func (b *gvisorPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
-	b.c.emitShootdown(k, smp.ShootdownSpec{
-		PCID: as.PCID,
-		VA:   va,
-		Send: func(targets []int) error {
-			// One host syscall by the Sentry, then per-target ICR writes
-			// executed by the host kernel.
-			k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
-			k.Phase("sysret_exit", b.c.Costs.SysretExit)
-			mode := k.CPU.Mode()
-			k.CPU.SetMode(hw.ModeKernel)
-			defer k.CPU.SetMode(mode)
-			for _, t := range targets {
-				k.Phase("ipi_send", b.c.Costs.IPISend)
-				if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
-					return f
+	if b.sd.Send == nil {
+		b.sd = smp.ShootdownSpec{
+			Send: func(targets []int) error {
+				// One host syscall by the Sentry, then per-target ICR writes
+				// executed by the host kernel.
+				k := b.sdK
+				k.Phase("syscall_trap", b.c.Costs.SyscallTrap)
+				k.Phase("sysret_exit", b.c.Costs.SysretExit)
+				mode := k.CPU.Mode()
+				k.CPU.SetMode(hw.ModeKernel)
+				defer k.CPU.SetMode(mode)
+				for _, t := range targets {
+					k.Phase("ipi_send", b.c.Costs.IPISend)
+					if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
+						return f
+					}
 				}
-			}
-			return nil
-		},
-		RemotePhases: nativeRemotePhases(b.c.Costs),
-	})
+				return nil
+			},
+			RemotePhases: nativeRemotePhases(b.c.Costs),
+		}
+	}
+	b.sdK = k
+	b.sd.PCID, b.sd.VA = as.PCID, va
+	b.c.emitShootdown(k, b.sd)
 }
 
 func (b *gvisorPV) DeliverVirtIRQ(k *guest.Kernel) {

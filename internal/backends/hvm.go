@@ -33,6 +33,11 @@ type hvmPV struct {
 	vtlbs []*tlb.TLB
 	vcpu  int
 
+	// sd caches the shootdown spec so EmitShootdown allocates nothing
+	// per downgrade; sdK is the kernel of the in-flight call.
+	sd  smp.ShootdownSpec
+	sdK *guest.Kernel
+
 	// Stats.
 	EPTViolations uint64
 	VMExits       uint64
@@ -304,51 +309,56 @@ func (b *hvmPV) migrationCost() clock.Time {
 // assist modelled), so each send is a VM exit; each remote vCPU also
 // exits for the flush IPI and re-enters after the ack.
 func (b *hvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
-	c := b.c.Costs
-	b.c.emitShootdown(k, smp.ShootdownSpec{
-		PCID: as.PCID,
-		VA:   va,
-		Send: func(targets []int) error {
-			for _, t := range targets {
-				b.VMExits++
-				b.c.auditVMExit(audit.VMExitIPI)
-				b.chargeVMExit(k)
-				k.Phase("ipi_send", c.IPISend)
-				b.c.smp.Post(t, hw.VectorIPI)
-				b.c.auditVMEntry(audit.VMExitIPI)
+	if b.sd.Send == nil {
+		c := b.c.Costs
+		// Nested-ness is fixed per container, so the remote service
+		// decomposition is interned up front.
+		var remoteCost clock.Time
+		var phases []smp.PhaseCost
+		if b.c.Opts.Nested {
+			remoteCost = 2*c.NestedLegRT + c.InterruptDeliver + c.Invlpg + c.IPIAck
+			phases = []smp.PhaseCost{
+				{Name: "nested_leg", Cost: 2 * c.NestedLegRT},
+				{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
+				{Name: "invlpg", Cost: c.Invlpg},
+				{Name: "ipi_ack", Cost: c.IPIAck},
 			}
-			return nil
-		},
-		RemoteCost: func(int) clock.Time {
-			if b.c.Opts.Nested {
-				return 2*c.NestedLegRT + c.InterruptDeliver + c.Invlpg + c.IPIAck
-			}
-			return c.VMExit + c.InterruptDeliver + c.Invlpg + c.IPIAck + c.VMEntry
-		},
-		RemotePhases: func(int) []smp.PhaseCost {
-			if b.c.Opts.Nested {
-				return []smp.PhaseCost{
-					{Name: "nested_leg", Cost: 2 * c.NestedLegRT},
-					{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
-					{Name: "invlpg", Cost: c.Invlpg},
-					{Name: "ipi_ack", Cost: c.IPIAck},
-				}
-			}
-			return []smp.PhaseCost{
+		} else {
+			remoteCost = c.VMExit + c.InterruptDeliver + c.Invlpg + c.IPIAck + c.VMEntry
+			phases = []smp.PhaseCost{
 				{Name: "vm_exit", Cost: c.VMExit},
 				{Name: "interrupt_deliver", Cost: c.InterruptDeliver},
 				{Name: "invlpg", Cost: c.Invlpg},
 				{Name: "ipi_ack", Cost: c.IPIAck},
 				{Name: "vm_entry", Cost: c.VMEntry},
 			}
-		},
-		RemoteFlush: func(v *smp.VCPU) error {
-			if v.ID < len(b.vtlbs) {
-				b.vtlbs[v.ID].FlushPage(as.PCID, va)
-			}
-			return nil
-		},
-	})
+		}
+		b.sd = smp.ShootdownSpec{
+			Send: func(targets []int) error {
+				k := b.sdK
+				for _, t := range targets {
+					b.VMExits++
+					b.c.auditVMExit(audit.VMExitIPI)
+					b.chargeVMExit(k)
+					k.Phase("ipi_send", c.IPISend)
+					b.c.smp.Post(t, hw.VectorIPI)
+					b.c.auditVMEntry(audit.VMExitIPI)
+				}
+				return nil
+			},
+			RemoteCost:   func(int) clock.Time { return remoteCost },
+			RemotePhases: func(int) []smp.PhaseCost { return phases },
+			RemoteFlush: func(v *smp.VCPU) error {
+				if v.ID < len(b.vtlbs) {
+					b.vtlbs[v.ID].FlushPage(b.sd.PCID, b.sd.VA)
+				}
+				return nil
+			},
+		}
+	}
+	b.sdK = k
+	b.sd.PCID, b.sd.VA = as.PCID, va
+	b.c.emitShootdown(k, b.sd)
 }
 
 func (b *hvmPV) DeliverVirtIRQ(k *guest.Kernel) {

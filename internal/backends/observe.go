@@ -1,8 +1,6 @@
 package backends
 
 import (
-	"fmt"
-
 	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -128,7 +126,7 @@ func (c *Container) CollectMetrics(reg *metrics.Registry, extra ...metrics.Label
 	}
 
 	for _, ps := range c.MMU.TLB.PCIDStats() {
-		pl := metrics.L("pcid", fmt.Sprintf("%d", ps.PCID))
+		pl := metrics.L("pcid", metrics.IntStr(int(ps.PCID)))
 		reg.Counter("tlb_hits_total", "TLB hits by PCID.", lab(pl)...).Add(ps.Hits)
 		reg.Counter("tlb_misses_total", "TLB misses by PCID.", lab(pl)...).Add(ps.Misses)
 		if tot := ps.Hits + ps.Misses; tot > 0 {
@@ -138,7 +136,7 @@ func (c *Container) CollectMetrics(reg *metrics.Registry, extra ...metrics.Label
 	}
 
 	collectOps := func(vcpu int, ops opCounts) {
-		vl := metrics.L("vcpu", fmt.Sprintf("%d", vcpu))
+		vl := metrics.L("vcpu", metrics.IntStr(vcpu))
 		for _, r := range ops.rows() {
 			reg.Counter("cpu_ops_total", "Privileged instructions retired.",
 				lab(vl, metrics.L("op", r.name))...).Add(r.n)
@@ -147,7 +145,7 @@ func (c *Container) CollectMetrics(reg *metrics.Registry, extra ...metrics.Label
 	if c.smp != nil {
 		for _, v := range c.smp.VCPUs {
 			collectOps(v.ID, opCounts(v.CPU.Ops))
-			vl := metrics.L("vcpu", fmt.Sprintf("%d", v.ID))
+			vl := metrics.L("vcpu", metrics.IntStr(v.ID))
 			reg.Counter("smp_shootdown_ipis_total", "Shootdown IPIs serviced.", lab(vl)...).Add(v.Stats.ShootdownIPIs)
 			reg.Counter("smp_acks_total", "Shootdown acks written.", lab(vl)...).Add(v.Stats.AcksSent)
 			reg.Counter("smp_migrations_in_total", "Migrations onto this vCPU.", lab(vl)...).Add(v.Stats.MigrationsIn)

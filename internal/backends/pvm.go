@@ -32,6 +32,11 @@ type pvmPV struct {
 	VMExits    uint64
 	ShadowOps  uint64
 	Injections uint64
+
+	// sd caches the shootdown spec so EmitShootdown allocates nothing
+	// per downgrade; sdK is the kernel of the in-flight call.
+	sd  smp.ShootdownSpec
+	sdK *guest.Kernel
 }
 
 func newPVMPV(c *Container, id int) (*pvmPV, error) {
@@ -302,24 +307,28 @@ func (b *pvmPV) migrationCost() clock.Time {
 // cheap: the IPI lands in the host, which invalidates the shadow
 // translation directly without switching into the remote guest.
 func (b *pvmPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
-	c := b.c.Costs
-	b.c.emitShootdown(k, smp.ShootdownSpec{
-		PCID: as.PCID,
-		VA:   va,
-		Send: func(targets []int) error {
-			b.VMExits++
-			b.c.auditVMExit(audit.VMExitIPI)
-			b.chargeHypercall(k)
-			_, err := b.c.Host.Hypercall(k.Clk, host.HcSendIPI,
-				vcpuMask(targets), uint64(hw.VectorIPI))
-			b.c.auditVMEntry(audit.VMExitIPI)
-			return err
-		},
-		RemoteCost: func(int) clock.Time {
-			return c.InterruptDeliver + c.Invlpg + c.IPIAck + c.Iret
-		},
-		RemotePhases: nativeRemotePhases(c),
-	})
+	if b.sd.Send == nil {
+		c := b.c.Costs
+		b.sd = smp.ShootdownSpec{
+			Send: func(targets []int) error {
+				k := b.sdK
+				b.VMExits++
+				b.c.auditVMExit(audit.VMExitIPI)
+				b.chargeHypercall(k)
+				_, err := b.c.Host.Hypercall(k.Clk, host.HcSendIPI,
+					vcpuMask(targets), uint64(hw.VectorIPI))
+				b.c.auditVMEntry(audit.VMExitIPI)
+				return err
+			},
+			RemoteCost: func(int) clock.Time {
+				return c.InterruptDeliver + c.Invlpg + c.IPIAck + c.Iret
+			},
+			RemotePhases: nativeRemotePhases(c),
+		}
+	}
+	b.sdK = k
+	b.sd.PCID, b.sd.VA = as.PCID, va
+	b.c.emitShootdown(k, b.sd)
 }
 
 func (b *pvmPV) DeliverVirtIRQ(k *guest.Kernel) {

@@ -15,6 +15,12 @@ import (
 // seccomp/audit filtering RunC applies per syscall.
 type runcPV struct {
 	c *Container
+
+	// sd caches the shootdown spec (closures capture b, not the call's
+	// arguments) so EmitShootdown allocates nothing per downgrade; sdK
+	// is the kernel of the in-flight call.
+	sd  smp.ShootdownSpec
+	sdK *guest.Kernel
 }
 
 func newRunCPV(c *Container) *runcPV { return &runcPV{c: c} }
@@ -118,23 +124,27 @@ func (b *runcPV) migrationCost() clock.Time {
 // writes the ICR once per target core; each remote runs the ordinary
 // flush-IPI handler (deliver, invlpg, ack, iret).
 func (b *runcPV) EmitShootdown(k *guest.Kernel, as *guest.AddrSpace, va uint64) {
-	b.c.emitShootdown(k, smp.ShootdownSpec{
-		PCID: as.PCID,
-		VA:   va,
-		Send: func(targets []int) error {
-			mode := k.CPU.Mode()
-			k.CPU.SetMode(hw.ModeKernel)
-			defer k.CPU.SetMode(mode)
-			for _, t := range targets {
-				k.Phase("ipi_send", b.c.Costs.IPISend)
-				if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
-					return f
+	if b.sd.Send == nil {
+		b.sd = smp.ShootdownSpec{
+			Send: func(targets []int) error {
+				k := b.sdK
+				mode := k.CPU.Mode()
+				k.CPU.SetMode(hw.ModeKernel)
+				defer k.CPU.SetMode(mode)
+				for _, t := range targets {
+					k.Phase("ipi_send", b.c.Costs.IPISend)
+					if f := k.CPU.WriteICR(t, hw.VectorIPI); f != nil {
+						return f
+					}
 				}
-			}
-			return nil
-		},
-		RemotePhases: nativeRemotePhases(b.c.Costs),
-	})
+				return nil
+			},
+			RemotePhases: nativeRemotePhases(b.c.Costs),
+		}
+	}
+	b.sdK = k
+	b.sd.PCID, b.sd.VA = as.PCID, va
+	b.c.emitShootdown(k, b.sd)
 }
 
 func (b *runcPV) DeliverVirtIRQ(k *guest.Kernel) {

@@ -80,8 +80,16 @@ func ParseSMPProfile(b []byte) (*SMPProfile, error) {
 
 // RunSMPProfiled runs the SMP experiment with observability attached.
 func RunSMPProfiled(scale int, seed uint64) (*SMPProfile, error) {
+	return RunSMPProfiledParallel(scale, seed, 1)
+}
+
+// RunSMPProfiledParallel is RunSMPProfiled with parallel cell
+// execution: each cell captures spans and metrics into its own
+// recorder and registry, and the per-cell results are assembled in
+// cell order, so the profile is byte-identical for any parallel value.
+func RunSMPProfiledParallel(scale int, seed uint64, parallel int) (*SMPProfile, error) {
 	prof := &SMPProfile{reg: metrics.NewRegistry()}
-	rep, err := runSMP(scale, seed, prof, nil)
+	rep, err := runSMP(scale, seed, prof, nil, parallel)
 	if err != nil {
 		return nil, err
 	}

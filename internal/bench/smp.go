@@ -75,7 +75,14 @@ func smpRequest(k *guest.Kernel) error {
 // RunSMP executes the SMP experiment. Deterministic: same scale, same
 // report, byte for byte.
 func RunSMP(scale int, seed uint64) (*SMPReport, error) {
-	return runSMP(scale, seed, nil, nil)
+	return runSMP(scale, seed, nil, nil, 1)
+}
+
+// RunSMPParallel is RunSMP with the grid cells fanned out to at most
+// parallel goroutines. The report is byte-identical for any parallel
+// value.
+func RunSMPParallel(scale int, seed uint64, parallel int) (*SMPReport, error) {
+	return runSMP(scale, seed, nil, nil, parallel)
 }
 
 // RunSMPAudited runs the experiment with a machine-event recorder
@@ -83,18 +90,27 @@ func RunSMP(scale int, seed uint64) (*SMPReport, error) {
 // clock-neutral, so the report matches RunSMP byte for byte; the log
 // spans all (runtime, vCPU) configurations in experiment order.
 func RunSMPAudited(scale int, seed uint64, rec *audit.Recorder) (*SMPReport, error) {
+	return RunSMPAuditedParallel(scale, seed, rec, 1)
+}
+
+// RunSMPAuditedParallel is RunSMPAudited with parallel cell execution:
+// every cell boots with its own recorder and the per-cell logs are
+// concatenated in cell order, which reproduces the sequential log
+// byte for byte (TLB-config dedup is per-machine, and machines are
+// never shared across cells).
+func RunSMPAuditedParallel(scale int, seed uint64, rec *audit.Recorder, parallel int) (*SMPReport, error) {
 	if rec != nil {
 		rec.Meta = audit.Meta{Kind: "smp", Seed: seed, Scale: scale}
 	}
-	return runSMP(scale, seed, nil, rec)
+	return runSMP(scale, seed, nil, rec, parallel)
 }
 
-// runSMP drives the experiment, optionally capturing spans and metrics
-// into prof and machine events into rec. The observers never advance
-// the virtual clock, so the returned report is byte-identical with and
-// without them.
-func runSMP(scale int, seed uint64, prof *SMPProfile, rec *audit.Recorder) (*SMPReport, error) {
-	specs := []struct {
+// smpSpecs is the runtime axis of the SMP grid.
+func smpSpecs() []struct {
+	kind backends.Kind
+	opts backends.Options
+} {
+	return []struct {
 		kind backends.Kind
 		opts backends.Options
 	}{
@@ -104,111 +120,191 @@ func runSMP(scale int, seed uint64, prof *SMPProfile, rec *audit.Recorder) (*SMP
 		{backends.CKI, backends.Options{}},
 		{backends.GVisor, backends.Options{}},
 	}
+}
+
+// runSMP drives the experiment, optionally capturing spans and metrics
+// into prof and machine events into rec. The observers never advance
+// the virtual clock, so the returned report is byte-identical with and
+// without them.
+//
+// The grid is executed as independent cells — one (runtime, vCPU
+// count) pair each, with its own machine, clock, observers, and (when
+// auditing) recorder — fanned out to at most parallel goroutines by
+// RunIndexed. Cell outputs land in per-cell slots and are assembled in
+// fixed cell order afterwards, so rows, spans, metrics, and audit
+// events come out byte-identical to a sequential run regardless of
+// parallel. The one cross-cell dependency — an n>1 cell needs its
+// runtime's 1-vCPU service time and base throughput for the DES stage
+// and speedup column — is carried by a per-runtime svcShare; only the
+// (cheap) DES stage waits on it, never the machine simulation.
+func runSMP(scale int, seed uint64, prof *SMPProfile, rec *audit.Recorder, parallel int) (*SMPReport, error) {
+	specs := smpSpecs()
 	rounds := 8 * scale
-	rep := &SMPReport{Seed: seed, Rounds: rounds}
-	for _, s := range specs {
+	nVC := len(SMPVCPUCounts)
+	nCells := len(specs) * nVC
+	rows := make([]SMPRow, nCells)
+	var runs []*SMPRun
+	var regs []*metrics.Registry
+	var recs []*audit.Recorder
+	if prof != nil {
+		runs = make([]*SMPRun, nCells)
+		regs = make([]*metrics.Registry, nCells)
+	}
+	if rec != nil {
+		recs = make([]*audit.Recorder, nCells)
+	}
+	shares := make([]*svcShare, len(specs))
+	for i := range shares {
+		shares[i] = newSvcShare()
+	}
+	err := RunIndexed(parallel, nCells, func(ci int) error {
+		s := specs[ci/nVC]
+		n := SMPVCPUCounts[ci%nVC]
+		share := shares[ci/nVC]
+		if n == 1 {
+			// If this cell errors out before publishing, release the
+			// runtime's dependents with a failure marker (publish is
+			// idempotent, so a successful publish below wins).
+			defer share.publish(0, 0, false)
+		}
+		opts := s.opts
+		opts.NumVCPU = n
+		if rec != nil {
+			recs[ci] = audit.NewRecorder(nil)
+			opts.Audit = recs[ci]
+		}
+		c, err := backends.New(s.kind, opts)
+		if err != nil {
+			return fmt.Errorf("smp: boot %v x%d: %w", s.kind, n, err)
+		}
+		var sr *trace.SpanRecorder
+		var run *SMPRun
+		var cellReg *metrics.Registry
+		if prof != nil {
+			cellReg = metrics.NewRegistry()
+			regs[ci] = cellReg
+			sr = trace.NewSpanRecorder(c.Clk)
+			fm := metrics.NewFlowMetrics(cellReg,
+				metrics.L("runtime", c.Name), metrics.L("vcpus", itoa(n)))
+			c.Observe(sr, fm)
+			run = &SMPRun{Runtime: c.Name, VCPUs: n}
+			runs[ci] = run
+		}
+		// Warm the allocator and page tables off the clock reading.
+		for i := 0; i < 4; i++ {
+			if err := smpRequest(c.K); err != nil {
+				return err
+			}
+		}
 		var service clock.Time
-		var tput1 float64
-		for _, n := range SMPVCPUCounts {
-			opts := s.opts
-			opts.NumVCPU = n
-			opts.Audit = rec
-			c, err := backends.New(s.kind, opts)
-			if err != nil {
-				return nil, fmt.Errorf("smp: boot %v x%d: %w", s.kind, n, err)
-			}
-			var rec *trace.SpanRecorder
-			var run *SMPRun
-			if prof != nil {
-				rec = trace.NewSpanRecorder(c.Clk)
-				fm := metrics.NewFlowMetrics(prof.reg,
-					metrics.L("runtime", c.Name), metrics.L("vcpus", itoa(n)))
-				c.Observe(rec, fm)
-				run = &SMPRun{Runtime: c.Name, VCPUs: n}
-			}
-			// Warm the allocator and page tables off the clock reading.
-			for i := 0; i < 4; i++ {
+		if n == 1 {
+			// Base per-request service time, free of shootdowns.
+			start := c.Clk.Now()
+			for i := 0; i < smpServiceReqs; i++ {
 				if err := smpRequest(c.K); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			if n == 1 {
-				// Base per-request service time, free of shootdowns.
-				start := c.Clk.Now()
-				for i := 0; i < smpServiceReqs; i++ {
-					if err := smpRequest(c.K); err != nil {
-						return nil, err
-					}
-				}
-				service = (c.Clk.Now() - start) / smpServiceReqs
-				if run != nil {
-					run.ServiceLoPs = int64(start)
-					run.ServiceHiPs = int64(c.Clk.Now())
-				}
+			service = (c.Clk.Now() - start) / smpServiceReqs
+			if run != nil {
+				run.ServiceLoPs = int64(start)
+				run.ServiceHiPs = int64(c.Clk.Now())
 			}
-			// Drive the container across all its vCPUs so every unmap
-			// broadcasts to warm sibling TLBs.
-			for r := 0; r < rounds; r++ {
-				for v := 0; v < n; v++ {
-					if err := c.MigrateVCPU(v); err != nil {
-						return nil, err
-					}
-					if err := smpRequest(c.K); err != nil {
-						return nil, err
-					}
+		}
+		// Drive the container across all its vCPUs so every unmap
+		// broadcasts to warm sibling TLBs.
+		for r := 0; r < rounds; r++ {
+			for v := 0; v < n; v++ {
+				if err := c.MigrateVCPU(v); err != nil {
+					return err
+				}
+				if err := smpRequest(c.K); err != nil {
+					return err
 				}
 			}
-			row := SMPRow{
-				Runtime:   c.Name,
-				VCPUs:     n,
-				ServiceNs: float64(service) / float64(clock.Nanosecond),
+		}
+		// Machine simulation is done; from here on only the DES stage
+		// remains, which for n>1 needs the 1-vCPU cell's outputs.
+		var tput1 float64
+		if n > 1 {
+			if !share.wait() {
+				return fmt.Errorf("smp: %v x%d: 1-vCPU cell failed", s.kind, n)
 			}
-			var shoot clock.Time
-			if e := c.SMPEngine(); e != nil && n > 1 {
-				shoot = e.Stats.MeanShootdown()
-				row.ShootdownNs = float64(shoot) / float64(clock.Nanosecond)
-				row.Shootdowns = e.Stats.Shootdowns
-				row.IPIsSent = e.Stats.IPIsSent
-				if run != nil {
-					run.Shootdowns = e.Stats.Shootdowns
-					run.ShootdownTotalPs = int64(e.Stats.TotalLatency)
-				}
+			service, tput1 = share.service, share.tput1
+		}
+		row := SMPRow{
+			Runtime:   c.Name,
+			VCPUs:     n,
+			ServiceNs: float64(service) / float64(clock.Nanosecond),
+		}
+		var shoot clock.Time
+		if e := c.SMPEngine(); e != nil && n > 1 {
+			shoot = e.Stats.MeanShootdown()
+			row.ShootdownNs = float64(shoot) / float64(clock.Nanosecond)
+			row.Shootdowns = e.Stats.Shootdowns
+			row.IPIsSent = e.Stats.IPIsSent
+			if run != nil {
+				run.Shootdowns = e.Stats.Shootdowns
+				run.ShootdownTotalPs = int64(e.Stats.TotalLatency)
 			}
-			if prof != nil {
-				run.Spans = rec.Spans()
-				c.CollectMetrics(prof.reg, metrics.L("vcpus", itoa(n)))
-				prof.Runs = append(prof.Runs, run)
-			}
-			// Closed-loop throughput: one shootdown per retired request
-			// (each unmaps one resident page); siblings lose roughly the
-			// remote handler's share of the measured latency.
-			sl := des.SMPLoop{
-				Clients: 4 * n,
-				VCPUs:   n,
-				RTT:     20 * clock.Microsecond,
-				Service: func(int) clock.Time { return service },
-				Horizon: clock.Time(scale) * 20 * clock.Millisecond,
-			}
-			if n > 1 {
-				sl.ShootdownEvery = 1
-				sl.ShootdownStall = shoot
-				sl.RemoteStall = shoot / 2
-			}
-			if prof != nil {
-				h := prof.reg.Histogram("smp_request_latency_ns",
-					"Closed-loop response latency in the DES throughput model.", nil,
-					metrics.L("runtime", c.Name), metrics.L("vcpus", itoa(n)))
-				sl.Observe = h.Observe
-			}
-			ops, _, _ := sl.Throughput()
-			row.Throughput = ops
-			if n == 1 {
-				tput1 = ops
-			}
-			if tput1 > 0 {
-				row.Speedup = ops / tput1
-			}
-			rep.Rows = append(rep.Rows, row)
+		}
+		if prof != nil {
+			run.Spans = sr.Spans()
+			c.CollectMetrics(cellReg, metrics.L("vcpus", itoa(n)))
+		}
+		// Closed-loop throughput: one shootdown per retired request
+		// (each unmaps one resident page); siblings lose roughly the
+		// remote handler's share of the measured latency.
+		sl := des.SMPLoop{
+			Clients: 4 * n,
+			VCPUs:   n,
+			RTT:     20 * clock.Microsecond,
+			Service: func(int) clock.Time { return service },
+			Horizon: clock.Time(scale) * 20 * clock.Millisecond,
+		}
+		if n > 1 {
+			sl.ShootdownEvery = 1
+			sl.ShootdownStall = shoot
+			sl.RemoteStall = shoot / 2
+		}
+		if prof != nil {
+			h := cellReg.Histogram("smp_request_latency_ns",
+				"Closed-loop response latency in the DES throughput model.", nil,
+				metrics.L("runtime", c.Name), metrics.L("vcpus", itoa(n)))
+			sl.Observe = h.Observe
+		}
+		ops, _, _ := sl.Throughput()
+		row.Throughput = ops
+		if n == 1 {
+			tput1 = ops
+			share.publish(service, ops, true)
+		}
+		if tput1 > 0 {
+			row.Speedup = ops / tput1
+		}
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Assemble per-cell outputs in fixed cell order, reproducing the
+	// sequential artifacts byte for byte.
+	rep := &SMPReport{Seed: seed, Rounds: rounds, Rows: rows}
+	if prof != nil {
+		prof.Runs = append(prof.Runs, runs...)
+		for _, r := range regs {
+			prof.reg.Merge(r)
+		}
+	}
+	if rec != nil {
+		total := 0
+		for _, r := range recs {
+			total += r.Len()
+		}
+		rec.Reserve(total)
+		for _, r := range recs {
+			rec.AppendFrom(r)
 		}
 	}
 	return rep, nil
@@ -246,7 +342,13 @@ func WriteSMPTable(rep *SMPReport, w io.Writer) error {
 // SMPJSON runs the SMP experiment and writes the report as indented
 // JSON (the committed BENCH_smp artifact).
 func SMPJSON(scale int, w io.Writer) error {
-	rep, err := RunSMP(scale, SMPSeed)
+	return SMPJSONParallel(scale, 1, w)
+}
+
+// SMPJSONParallel is SMPJSON with the grid cells fanned out to at most
+// parallel goroutines; the emitted bytes are identical for any value.
+func SMPJSONParallel(scale, parallel int, w io.Writer) error {
+	rep, err := RunSMPParallel(scale, SMPSeed, parallel)
 	if err != nil {
 		return err
 	}

@@ -39,9 +39,43 @@ func labelKey(labels []Label) string {
 }
 
 func sortLabels(labels []Label) []Label {
+	// Nearly every call site passes labels already in key order; skip
+	// the defensive copy then. (Retaining the caller's slice is safe:
+	// the registry's variadic entry points hand us a fresh slice.)
+	sorted := true
+	for i := 1; i < len(labels); i++ {
+		if labels[i-1].Key > labels[i].Key {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return labels
+	}
 	out := append([]Label(nil), labels...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// smallInts interns the decimal strings hot label paths need (vCPU
+// IDs, PCIDs, small counts) so building a label never allocates for
+// common values.
+var smallInts [1024]string
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = fmt.Sprintf("%d", i)
+	}
+}
+
+// IntStr returns the decimal rendering of n, interned for small
+// non-negative values. Use it instead of fmt.Sprintf/strconv on label
+// construction paths.
+func IntStr(n int) string {
+	if n >= 0 && n < len(smallInts) {
+		return smallInts[n]
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 type familyKind int
@@ -238,6 +272,60 @@ func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label)
 		s.h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
 	}
 	return s.h
+}
+
+// Merge folds src into r. Families register in src's creation order —
+// so merging per-cell registries in the fixed sequential cell order
+// reproduces the family order a single sequential registry would have —
+// and series accumulate: counters add, gauges adopt src's value,
+// histograms add bucket counts, sums, and sample counts. Bucket bounds
+// must agree (same instrument definitions on both sides).
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for _, sf := range src.families {
+		df := r.family(sf.name, sf.help, sf.kind)
+		for _, ss := range sf.series {
+			ds := df.get(ss.labels)
+			switch sf.kind {
+			case kindCounter:
+				if ss.c != nil {
+					if ds.c == nil {
+						ds.c = &Counter{}
+					}
+					ds.c.v += ss.c.v
+				}
+			case kindGauge:
+				if ss.g != nil {
+					if ds.g == nil {
+						ds.g = &Gauge{}
+					}
+					ds.g.v = ss.g.v
+				}
+			case kindHistogram:
+				if ss.h == nil {
+					continue
+				}
+				if ds.h == nil {
+					ds.h = &Histogram{
+						bounds: ss.h.bounds,
+						counts: make([]uint64, len(ss.h.bounds)),
+					}
+				}
+				if len(ds.h.counts) != len(ss.h.counts) {
+					panic(fmt.Sprintf("metrics: Merge %s: bucket count mismatch (%d vs %d)",
+						sf.name, len(ds.h.counts), len(ss.h.counts)))
+				}
+				for i, c := range ss.h.counts {
+					ds.h.counts[i] += c
+				}
+				ds.h.inf += ss.h.inf
+				ds.h.sum += ss.h.sum
+				ds.h.n += ss.h.n
+			}
+		}
+	}
 }
 
 // fmtNanos renders picoseconds as a decimal nanosecond literal with

@@ -106,6 +106,11 @@ type Engine struct {
 	// ShootdownLat, when non-nil, observes per-shootdown initiator
 	// latency.
 	ShootdownLat *metrics.Histogram
+
+	// unackedBuf is the reused target scratch buffer for Shootdown; the
+	// engine runs on one goroutine, so a single buffer keeps the
+	// protocol's steady-state hot path allocation-free.
+	unackedBuf []int
 }
 
 // phase charges d to the shared clock under a named span (plain
@@ -158,16 +163,21 @@ func (e *Engine) Post(target, vector int) {
 // Others returns the vCPU IDs [0, n) excluding initiator — the target
 // set of a broadcast shootdown from a container spanning n vCPUs.
 func (e *Engine) Others(initiator, n int) []int {
+	return e.OthersInto(nil, initiator, n)
+}
+
+// OthersInto appends the broadcast target set to dst (callers reuse a
+// per-container buffer so the per-shootdown path does not allocate).
+func (e *Engine) OthersInto(dst []int, initiator, n int) []int {
 	if n > len(e.VCPUs) {
 		n = len(e.VCPUs)
 	}
-	ts := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if i != initiator {
-			ts = append(ts, i)
+			dst = append(dst, i)
 		}
 	}
-	return ts
+	return dst
 }
 
 // FlushAllTLBs scrubs every vCPU TLB of entries matching pred (see
@@ -229,12 +239,13 @@ type ShootdownSpec struct {
 func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 	start := e.Clk.Now()
 	root := e.Rec.Begin("shootdown")
-	unacked := make([]int, 0, len(spec.Targets))
+	unacked := e.unackedBuf[:0]
 	for _, t := range spec.Targets {
 		if t >= 0 && t < len(e.VCPUs) && t != spec.Initiator {
 			unacked = append(unacked, t)
 		}
 	}
+	e.unackedBuf = unacked
 	for attempt := 0; len(unacked) > 0 && attempt < MaxSendAttempts; attempt++ {
 		if attempt > 0 {
 			// The ack mask is still short: the initiator's spin loop hits
@@ -291,7 +302,9 @@ func (e *Engine) Shootdown(spec ShootdownSpec) (clock.Time, error) {
 				maxLat = lat
 			}
 		}
-		unacked = append([]int(nil), still...)
+		// still filtered unacked in place (writes trail reads), so the
+		// surviving prefix is the next attempt's target set — no copy.
+		unacked = still
 		// The remotes ran concurrently; the spinning initiator waits for
 		// the slowest ack plus one final poll of the mask.
 		e.phase("ack_spin", maxLat+e.Costs.ShootdownPoll)

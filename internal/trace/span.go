@@ -123,6 +123,17 @@ func (r *SpanRecorder) Len() int {
 	return len(r.spans)
 }
 
+// Reserve ensures room for n more spans without reallocating, so a
+// steady-state recording loop can run allocation-free.
+func (r *SpanRecorder) Reserve(n int) {
+	if r == nil || cap(r.spans)-len(r.spans) >= n {
+		return
+	}
+	grown := make([]Span, len(r.spans), len(r.spans)+n)
+	copy(grown, r.spans)
+	r.spans = grown
+}
+
 // Reset drops all recorded spans and open state.
 func (r *SpanRecorder) Reset() {
 	if r == nil {
