@@ -32,6 +32,15 @@
 // allocs/op, parallel speedup) and emits the BENCH_wallclock artifact:
 //
 //	ckibench -exp wallclock > BENCH_wallclock.json
+//
+// The snapshot experiment measures checkpoint/restore latency, live
+// migration (iterative pre-copy with dirty-page tracking) and
+// warm-vs-cold restart recovery, emitting the BENCH_snapshot artifact;
+// -snap-out additionally writes a CKISNAP1 checkpoint image (the CI
+// smoke job corrupts a copy, then restores the intact one):
+//
+//	ckibench -exp snapshot -json > BENCH_snapshot.json
+//	ckibench -exp snapshot -snap-out cki.snap
 package main
 
 import (
@@ -100,6 +109,8 @@ type config struct {
 	baseline   string
 	parallel   int
 	seeds      int
+	snapOut    string
+	interval   int
 }
 
 // needProf reports whether any span/metrics artifact flag is set.
@@ -125,8 +136,14 @@ func validate(c config) error {
 	if c.seeds > 1 && !(c.exp == "chaos" && c.jsonOut) {
 		return errors.New("-seeds requires -exp chaos -json")
 	}
-	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" {
-		return errors.New("-json is only supported with -exp chaos, smp, or wallclock")
+	if c.interval < 1 {
+		return errors.New("-checkpoint-interval must be >= 1")
+	}
+	if (c.snapOut != "" || c.interval != 1) && c.exp != "snapshot" {
+		return errors.New("-snap-out/-checkpoint-interval require -exp snapshot")
+	}
+	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" {
+		return errors.New("-json is only supported with -exp chaos, smp, wallclock, or snapshot")
 	}
 	return nil
 }
@@ -144,6 +161,8 @@ func main() {
 	flag.StringVar(&cfg.baseline, "baseline", "", "with -exp smp: compare against a committed report and fail on >10% throughput regression")
 	flag.IntVar(&cfg.parallel, "parallel", bench.DefaultParallel(), "max grid cells run concurrently (artifacts are byte-identical for any value)")
 	flag.IntVar(&cfg.seeds, "seeds", 1, "with -exp chaos -json: sweep this many derived seeds")
+	flag.StringVar(&cfg.snapOut, "snap-out", "", "with -exp snapshot: write the CKI cell's CKISNAP1 checkpoint image to FILE")
+	flag.IntVar(&cfg.interval, "checkpoint-interval", 1, "with -exp snapshot: supervised rounds between periodic checkpoints in the warm-restart comparison")
 	flag.Parse()
 
 	if err := validate(cfg); err != nil {
@@ -159,6 +178,33 @@ func main() {
 		}
 		if err := bench.WriteWallclockJSON(rep, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: wallclock: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if cfg.exp == "snapshot" {
+		rep, err := bench.RunSnapshot(cfg.scale, cfg.parallel, cfg.interval)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if cfg.snapOut != "" {
+			blob := rep.CheckpointBlob("CKI-BM")
+			if blob == nil {
+				fmt.Fprintf(os.Stderr, "ckibench: snapshot: no CKI checkpoint in report\n")
+				os.Exit(1)
+			}
+			writeFile(cfg.snapOut, blob)
+		}
+		var werr error
+		if cfg.jsonOut {
+			werr = bench.WriteSnapshotJSON(rep, os.Stdout)
+		} else {
+			werr = bench.WriteSnapshotTable(rep, os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: snapshot: %v\n", werr)
 			os.Exit(1)
 		}
 		return

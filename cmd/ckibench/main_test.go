@@ -12,6 +12,9 @@ func TestValidate(t *testing.T) {
 		if c.seeds == 0 {
 			c.seeds = 1
 		}
+		if c.interval == 0 {
+			c.interval = 1
+		}
 		return c
 	}
 	cases := []struct {
@@ -28,6 +31,9 @@ func TestValidate(t *testing.T) {
 		{"smp baseline", ok(config{exp: "smp", baseline: "b.json"}), false},
 		{"chaos sweep", ok(config{exp: "chaos", jsonOut: true, seeds: 16}), false},
 		{"parallel 8", ok(config{exp: "smp", jsonOut: true, parallel: 8}), false},
+		{"snapshot json", ok(config{exp: "snapshot", jsonOut: true}), false},
+		{"snapshot blob out", ok(config{exp: "snapshot", snapOut: "cki.snap"}), false},
+		{"snapshot interval", ok(config{exp: "snapshot", interval: 5}), false},
 
 		{"parallel 0", config{parallel: 0, seeds: 1}, true},
 		{"parallel negative", config{parallel: -2, seeds: 1}, true},
@@ -42,6 +48,11 @@ func TestValidate(t *testing.T) {
 		{"seeds without json", ok(config{exp: "chaos", seeds: 4}), true},
 		{"json wrong exp", ok(config{exp: "fig12", jsonOut: true}), true},
 		{"json all experiments", ok(config{jsonOut: true}), true},
+		{"interval 0", config{parallel: 1, seeds: 1, interval: 0, exp: "snapshot"}, true},
+		{"interval negative", config{parallel: 1, seeds: 1, interval: -3, exp: "snapshot"}, true},
+		{"snap-out wrong exp", ok(config{exp: "chaos", snapOut: "cki.snap"}), true},
+		{"snap-out without exp", ok(config{snapOut: "cki.snap"}), true},
+		{"interval wrong exp", ok(config{exp: "smp", jsonOut: true, interval: 4}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

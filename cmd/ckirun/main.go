@@ -8,6 +8,14 @@
 //	ckirun -runtime hvm -nested -workload gups
 //	ckirun -runtime cki -workload btree -trace-out run.trace.json -metrics-out run.metrics.json
 //	ckirun -list
+//
+// A run can be checkpointed into a CKISNAP1 image after the workload
+// completes, and a later run can restore from one instead of
+// cold-booting (the runtime configuration comes from the image; a
+// corrupt or truncated image is rejected with an error):
+//
+//	ckirun -runtime cki -workload btree -checkpoint app.snap
+//	ckirun -restore app.snap -workload btree
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/inspect"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -39,6 +48,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's flow spans to FILE")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON to FILE")
 	auditOut := flag.String("audit-out", "", "record the machine-event audit log to FILE (replay with ckireplay)")
+	checkpointOut := flag.String("checkpoint", "", "checkpoint the container to a CKISNAP1 image FILE after the workload completes")
+	restoreIn := flag.String("restore", "", "restore the container from a CKISNAP1 image FILE instead of cold-booting (-runtime/-nested come from the image)")
 	flag.Parse()
 
 	cat := workloads.Catalog()
@@ -79,10 +90,43 @@ func main() {
 			FaultSeed: *faultSeed,
 		}
 	}
-	c, err := backends.New(kind, backends.Options{Nested: *nested, Audit: auditRec})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ckirun: boot: %v\n", err)
-		os.Exit(1)
+	var c *backends.Container
+	var err error
+	if *restoreIn != "" {
+		// The audit recorder attaches at boot; a restored container's
+		// boot is driven by the image, so the combination is rejected
+		// rather than silently recording a partial log.
+		if *auditOut != "" {
+			fmt.Fprintf(os.Stderr, "ckirun: -audit-out cannot be combined with -restore\n")
+			os.Exit(2)
+		}
+		blob, rerr := os.ReadFile(*restoreIn)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: %v\n", rerr)
+			os.Exit(1)
+		}
+		snap, rerr := snapshot.Decode(blob)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: restore %s: %v\n", *restoreIn, rerr)
+			os.Exit(1)
+		}
+		m, rerr := backends.NewMachine(snap.Config.HostFrames, snap.Config.TLBEntries)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: restore: %v\n", rerr)
+			os.Exit(1)
+		}
+		c, err = backends.Restore(m, snap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: restore %s: %v\n", *restoreIn, err)
+			os.Exit(1)
+		}
+		fmt.Printf("restored:    %s\n", snap.Describe())
+	} else {
+		c, err = backends.New(kind, backends.Options{Nested: *nested, Audit: auditRec})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: boot: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *traceN > 0 {
 		c.K.Trace = trace.New(4096)
@@ -178,6 +222,18 @@ func main() {
 	if *traceN > 0 {
 		fmt.Println()
 		fmt.Print(c.K.Trace.Render(*traceN))
+	}
+	if *checkpointOut != "" {
+		blob, err := backends.CheckpointBytes(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*checkpointOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ckirun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint:  %d bytes -> %s\n", len(blob), *checkpointOut)
 	}
 	writeArtifacts()
 }

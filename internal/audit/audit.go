@@ -118,10 +118,10 @@ func KindByName(name string) Kind {
 
 // Causes for EvWritePKRS (the C operand): who changed the register.
 const (
-	PKRSCauseWrpkrs    uint64 = 1 // the wrpkrs instruction
-	PKRSCauseWrmsr     uint64 = 2 // a wrmsr to IA32_PKRS
-	PKRSCauseIntClear  uint64 = 3 // hardware clear on interrupt delivery
-	PKRSCauseIretRest  uint64 = 4 // hardware restore from the iret frame
+	PKRSCauseWrpkrs   uint64 = 1 // the wrpkrs instruction
+	PKRSCauseWrmsr    uint64 = 2 // a wrmsr to IA32_PKRS
+	PKRSCauseIntClear uint64 = 3 // hardware clear on interrupt delivery
+	PKRSCauseIretRest uint64 = 4 // hardware restore from the iret frame
 )
 
 // Delivery classes for EvInterrupt (the B operand).
@@ -206,6 +206,7 @@ var siteOrder = [...]faults.Site{
 	9:  faults.Hypercall,
 	10: faults.IPILost,
 	11: faults.AckDelay,
+	12: faults.SnapshotTorn,
 }
 
 // SiteCode maps an injection site to its stable log code (0 = unknown).

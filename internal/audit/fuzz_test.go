@@ -1,0 +1,56 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// FuzzUnmarshal: the CKIAUD1 log parser must reject hostile input —
+// truncated headers, oversized meta lengths, ragged record tails — with
+// an error, never a panic or an allocation sized by attacker-chosen
+// header fields. The seed corpus shares its shape with the snapshot
+// package's CKISNAP1 fuzz target: one valid blob, truncations at every
+// structural boundary, and targeted mutations.
+func FuzzUnmarshal(f *testing.F) {
+	blob := Marshal(Meta{Kind: "ckirun", Runtime: "CKI-BM", Workload: "web", FaultSeed: 42},
+		[]Event{
+			{Kind: EvWriteCR3, VCPU: 0, PCID: 0x101, At: clock.Time(1000), A: 7},
+			{Kind: EvPTEWrite, VCPU: 1, PCID: 0x102, At: clock.Time(2000), A: 1, B: 2, C: 3},
+		})
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("CKIAUD1\n"))
+	f.Add(blob[:9])            // magic + torn meta length
+	f.Add(blob[:len(blob)-13]) // ragged record tail
+	f.Add(blob[:len(blob)/2])
+	huge := append([]byte(nil), blob...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0x7f // forged metaLen
+	f.Add(huge)
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)-20] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// The format is not canonical (reserved record bytes and JSON
+		// meta variants are tolerated), so the oracle is semantic: an
+		// accepted log must survive a marshal → unmarshal round trip
+		// with its events intact.
+		l2, err := Unmarshal(Marshal(l.Meta, l.Events))
+		if err != nil {
+			t.Fatalf("re-marshal of accepted log does not parse: %v", err)
+		}
+		if len(l2.Events) != len(l.Events) {
+			t.Fatalf("events lost in round trip: %d != %d", len(l2.Events), len(l.Events))
+		}
+		for i := range l.Events {
+			if l.Events[i] != l2.Events[i] {
+				t.Fatalf("event %d mutated in round trip", i)
+			}
+		}
+	})
+}

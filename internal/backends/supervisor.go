@@ -38,6 +38,19 @@ type RestartPolicy struct {
 	// wall-clock (virtual) time even when every container is busy. This
 	// is what lets a backoff deadline expire while siblings keep serving.
 	ProbePeriod clock.Time
+	// SnapshotInterval, when > 0, checkpoints every healthy container
+	// each time it completes this many supervised rounds; the last good
+	// snapshot is what a warm restart restores from. Captures that find
+	// the guest non-quiescent are skipped and counted, not fatal.
+	SnapshotInterval int
+	// WarmRestart restores the last good snapshot on restart instead of
+	// cold-booting the container from scratch. A snapshot that fails to
+	// decode (torn write, corruption) or to restore falls back to a
+	// cold restart — cleanly, never a panic. A successful warm restore
+	// also resets the backoff to InitialBackoff: the container came
+	// back in a known-good state, so the next death is treated as
+	// fresh rather than as an escalating crash loop.
+	WarmRestart bool
 }
 
 // DefaultRestartPolicy returns the policy used by the chaos experiment.
@@ -70,12 +83,27 @@ type ContainerHealth struct {
 	// TotalDowntime accumulates virtual time between each death and its
 	// restart; MTTR() averages it.
 	TotalDowntime clock.Time
+	// WarmRestores counts restarts served from the last good snapshot;
+	// ColdRestarts counts full reboots (warm + cold = Restarts).
+	WarmRestores int
+	ColdRestarts int
+	// SnapshotErrors counts periodic checkpoints skipped because the
+	// guest was not quiescent; SnapshotFallbacks counts warm restarts
+	// that degraded to cold because the snapshot was torn, corrupt, or
+	// failed to restore.
+	SnapshotErrors    int
+	SnapshotFallbacks int
+	// Escalations counts how many times this container's crash took
+	// the shared host kernel — and every co-resident container — down
+	// with it (OS-level runtimes only).
+	Escalations int
 
-	down    bool
-	downAt  clock.Time
-	backoff clock.Time
-	retryAt clock.Time
-	inj     faults.Injector
+	down     bool
+	downAt   clock.Time
+	backoff  clock.Time
+	retryAt  clock.Time
+	inj      faults.Injector
+	lastSnap []byte
 }
 
 // MTTR is the mean virtual time from death to restart.
@@ -169,6 +197,9 @@ func (s *Supervisor) visit(round, i int, fn func(round int, c *Container) error)
 	err := s.Cl.Run(i, func(c *Container) error { return fn(round, c) })
 	if err == nil {
 		h.RoundsOK++
+		if s.Policy.SnapshotInterval > 0 && h.RoundsOK%s.Policy.SnapshotInterval == 0 {
+			s.snapshot(i)
+		}
 		return true, nil
 	}
 	if errors.Is(err, guest.EKERNELDIED) {
@@ -205,6 +236,25 @@ func (s *Supervisor) noteDeath(i int, collateral bool) {
 	}
 }
 
+// snapshot checkpoints container i and keeps the encoded blob as the
+// warm-restart image. The write can tear (faults.SnapshotTorn): the
+// kept blob is then truncated mid-payload, exactly what a writer dying
+// between header and trailer leaves on disk. The damage is not
+// detected here — that is the restore-path checksum's job.
+func (s *Supervisor) snapshot(i int) {
+	h := s.Health[i]
+	c := s.Cl.Containers[i]
+	blob, err := CheckpointBytes(c)
+	if err != nil {
+		h.SnapshotErrors++
+		return
+	}
+	if c.K.Fire(faults.SnapshotTorn) {
+		blob = blob[:len(blob)*3/4]
+	}
+	h.lastSnap = blob
+}
+
 // escalate models the blast radius of container i's crash. An OS-level
 // container (RunC) shares the host kernel: its kernel panic IS a host
 // panic, and every co-resident container dies with it — the Fig. 2
@@ -213,6 +263,7 @@ func (s *Supervisor) escalate(i int) {
 	if s.Cl.Containers[i].Kind != RunC {
 		return
 	}
+	s.Health[i].Escalations++
 	for j, o := range s.Cl.Containers {
 		if j == i || o.K.Died() {
 			continue
@@ -248,12 +299,35 @@ func (s *Supervisor) tryRestart(i int) bool {
 	// surviving translation tagged with a recycled PCID would resolve
 	// through the corpse's tables.
 	s.Cl.M.FlushContainerTLB(id)
-	c, err := NewOnMachine(s.Cl.M, old.Kind, old.Opts, id)
-	if err != nil {
-		// The machine is too degraded to reboot the container now;
-		// retry after another backoff period.
-		h.retryAt = now + h.backoff
-		return false
+	warm := false
+	var c *Container
+	if s.Policy.WarmRestart && len(h.lastSnap) > 0 {
+		restored, err := RestoreBytes(s.Cl.M, h.lastSnap)
+		if err == nil {
+			c, warm = restored, true
+		} else {
+			// Torn write, bit rot, or a restore failure: degrade to a
+			// cold restart. The checksum turned the damage into a clean
+			// error; the container still comes back, just without its
+			// warm state.
+			h.SnapshotFallbacks++
+			h.lastSnap = nil
+			// A failed restore may have part-booted a replacement;
+			// reclaim its frames again before the cold boot below.
+			s.Cl.M.HostMem.FreeOwned(id)
+			s.Cl.M.HostMem.FreeOwned(cki.KSMOwner(id))
+			s.Cl.M.FlushContainerTLB(id)
+		}
+	}
+	if c == nil {
+		var err error
+		c, err = NewOnMachine(s.Cl.M, old.Kind, old.Opts, id)
+		if err != nil {
+			// The machine is too degraded to reboot the container now;
+			// retry after another backoff period.
+			h.retryAt = now + h.backoff
+			return false
+		}
 	}
 	if err := c.Activate(); err != nil {
 		h.retryAt = now + h.backoff
@@ -266,9 +340,18 @@ func (s *Supervisor) tryRestart(i int) bool {
 	h.Restarts++
 	h.TotalDowntime += s.Cl.M.Clk.Now() - h.downAt
 	h.down = false
-	h.backoff *= 2
-	if h.backoff > s.Policy.MaxBackoff {
-		h.backoff = s.Policy.MaxBackoff
+	if warm {
+		// A warm restore resumed a verified-good state: the crash loop
+		// is broken, so the next death starts from the initial backoff
+		// instead of inheriting an escalated one.
+		h.WarmRestores++
+		h.backoff = s.Policy.InitialBackoff
+	} else {
+		h.ColdRestarts++
+		h.backoff *= 2
+		if h.backoff > s.Policy.MaxBackoff {
+			h.backoff = s.Policy.MaxBackoff
+		}
 	}
 	return true
 }
@@ -295,11 +378,12 @@ func (s *Supervisor) earliestRetry() (clock.Time, bool) {
 
 // Report renders the per-container survival table.
 func (s *Supervisor) Report(w io.Writer) error {
-	fmt.Fprintf(w, "%-10s %8s %8s %11s %9s %7s %12s\n",
-		"container", "rounds", "crashes", "collateral", "restarts", "gaveup", "mttr")
+	fmt.Fprintf(w, "%-10s %8s %8s %11s %9s %6s %6s %7s %7s %7s %12s\n",
+		"container", "rounds", "crashes", "collateral", "restarts", "warm", "cold", "fallbk", "escal", "gaveup", "mttr")
 	for _, h := range s.Health {
-		fmt.Fprintf(w, "%-10s %8d %8d %11d %9d %7v %12v\n",
-			h.Name, h.RoundsOK, h.Crashes, h.Collateral, h.Restarts, h.GaveUp, h.MTTR())
+		fmt.Fprintf(w, "%-10s %8d %8d %11d %9d %6d %6d %7d %7d %7v %12v\n",
+			h.Name, h.RoundsOK, h.Crashes, h.Collateral, h.Restarts,
+			h.WarmRestores, h.ColdRestarts, h.SnapshotFallbacks, h.Escalations, h.GaveUp, h.MTTR())
 	}
 	return nil
 }

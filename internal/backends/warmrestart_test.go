@@ -1,0 +1,221 @@
+package backends
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cki"
+	"repro/internal/clock"
+	"repro/internal/faults"
+	"repro/internal/guest"
+	"repro/internal/snapshot"
+)
+
+// Supervisor-level checkpoint/restore: periodic snapshots, warm
+// restarts, torn-write fallback, and restart-storm hardening.
+
+func warmPolicy() RestartPolicy {
+	pol := DefaultRestartPolicy()
+	pol.SnapshotInterval = 1
+	pol.WarmRestart = true
+	return pol
+}
+
+// superviseWithCrashes runs a one-container cluster where the workload
+// succeeds normally but panics the guest on every crashEvery-th round.
+func superviseWithCrashes(t *testing.T, kind Kind, pol RestartPolicy, rounds, crashEvery int, plan *faults.Plan) *Supervisor {
+	t.Helper()
+	cl, err := NewCluster(1 << 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.Add(kind, Options{SegmentFrames: 2048, GuestFrames: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		c.InjectFaults(plan)
+	}
+	sup := NewSupervisor(cl, pol)
+	n := 0
+	err = sup.Supervise(rounds, func(_ int, c *Container) error {
+		n++
+		if crashEvery > 0 && n%crashEvery == 0 {
+			c.K.Panic("storm: induced crash")
+			return guest.EKERNELDIED
+		}
+		return smallWork(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sup
+}
+
+// TestWarmRestartRestoresSnapshotState: with per-round snapshots, every
+// recovery is warm, and the replacement container resumes from the last
+// good snapshot (its file state is intact) rather than from scratch.
+func TestWarmRestartRestoresSnapshotState(t *testing.T) {
+	sup := superviseWithCrashes(t, CKI, warmPolicy(), 40, 5, nil)
+	h := sup.Health[0]
+	if h.Crashes == 0 {
+		t.Fatal("no crashes induced")
+	}
+	if h.WarmRestores == 0 {
+		t.Fatalf("no warm restores (crashes=%d cold=%d snapErr=%d fallbacks=%d)",
+			h.Crashes, h.ColdRestarts, h.SnapshotErrors, h.SnapshotFallbacks)
+	}
+	if h.SnapshotFallbacks != 0 {
+		t.Fatalf("unexpected fallbacks: %d", h.SnapshotFallbacks)
+	}
+	// The warm-restart image carries the workload's file state, not a
+	// fresh filesystem: smallWork created /chaos before the checkpoint.
+	snap, err := snapshot.Decode(h.lastSnap)
+	if err != nil {
+		t.Fatalf("last good snapshot does not decode: %v", err)
+	}
+	found := false
+	for _, f := range snap.Image.Files {
+		if f.Path == "/chaos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot image missing the workload's /chaos file")
+	}
+	// And the live container (the supervision window may end mid-crash;
+	// restart it if so) still serves from that state.
+	c := sup.Cl.Containers[0]
+	if c.K.Died() {
+		m := sup.Cl.M
+		m.HostMem.FreeOwned(c.K.ContainerID)
+		m.HostMem.FreeOwned(cki.KSMOwner(c.K.ContainerID))
+		m.FlushContainerTLB(c.K.ContainerID)
+		if c, err = RestoreBytes(m, h.lastSnap); err != nil {
+			t.Fatalf("manual warm restore: %v", err)
+		}
+	}
+	if _, err := c.K.Open("/chaos", false); err != nil {
+		t.Fatalf("snapshotted file missing after warm restart: %v", err)
+	}
+	if h.WarmRestores+h.ColdRestarts != h.Restarts {
+		t.Fatalf("warm %d + cold %d != restarts %d", h.WarmRestores, h.ColdRestarts, h.Restarts)
+	}
+}
+
+// TestWarmRestartMTTRBeatsCold: same crash schedule, same rounds; the
+// warm-restart policy's mean time to recovery is strictly below the
+// cold policy's, because a verified warm restore resets the backoff
+// while cold restarts keep doubling it.
+func TestWarmRestartMTTRBeatsCold(t *testing.T) {
+	for _, kind := range []Kind{CKI, PVM} {
+		cold := superviseWithCrashes(t, kind, DefaultRestartPolicy(), 60, 4, nil)
+		warm := superviseWithCrashes(t, kind, warmPolicy(), 60, 4, nil)
+		hc, hw := cold.Health[0], warm.Health[0]
+		if hc.Restarts < 2 || hw.Restarts < 2 {
+			t.Fatalf("%v: need repeated restarts (cold %d, warm %d)", kind, hc.Restarts, hw.Restarts)
+		}
+		if hw.MTTR() >= hc.MTTR() {
+			t.Fatalf("%v: warm MTTR %v not below cold MTTR %v", kind, hw.MTTR(), hc.MTTR())
+		}
+	}
+}
+
+// TestTornSnapshotFallsBackToCold: a torn snapshot write (the injected
+// faults.SnapshotTorn site truncates the blob) is caught by the
+// checksum at restore time and degrades to a cold restart — cleanly,
+// with the fallback counted, and the container back in service.
+func TestTornSnapshotFallsBackToCold(t *testing.T) {
+	plan := faults.NewPlan(7, faults.Rule{Site: faults.SnapshotTorn, Every: 1})
+	sup := superviseWithCrashes(t, CKI, warmPolicy(), 30, 5, plan)
+	h := sup.Health[0]
+	if h.Crashes == 0 {
+		t.Fatal("no crashes induced")
+	}
+	if h.SnapshotFallbacks == 0 {
+		t.Fatalf("torn snapshots never fell back (crashes=%d warm=%d cold=%d)",
+			h.Crashes, h.WarmRestores, h.ColdRestarts)
+	}
+	if h.WarmRestores != 0 {
+		t.Fatalf("torn snapshot restored warm %d times", h.WarmRestores)
+	}
+	if h.ColdRestarts != h.Restarts {
+		t.Fatalf("cold %d != restarts %d", h.ColdRestarts, h.Restarts)
+	}
+	// Still serving after every fallback.
+	if h.RoundsOK == 0 {
+		t.Fatal("container never served")
+	}
+}
+
+// TestRestartStormHardening: a container dying on every single visit
+// must (a) respect the capped exponential backoff — total downtime is
+// bounded by the cap — and (b) give up once MaxRestarts is exhausted,
+// with the give-up and escalation counters surfaced in the report.
+func TestRestartStormHardening(t *testing.T) {
+	pol := DefaultRestartPolicy()
+	pol.InitialBackoff = 100 * clock.Microsecond
+	pol.MaxBackoff = 800 * clock.Microsecond
+
+	t.Run("capped-backoff", func(t *testing.T) {
+		sup := superviseWithCrashes(t, CKI, pol, 120, 1, nil)
+		h := sup.Health[0]
+		if h.Restarts < 8 {
+			t.Fatalf("storm produced only %d restarts", h.Restarts)
+		}
+		// Every individual downtime is backoff plus supervision slack;
+		// if doubling escaped the cap, the later downtimes (and so the
+		// total) would blow past this bound.
+		slack := 4 * sup.Policy.ProbePeriod
+		bound := clock.Time(h.Restarts) * (pol.MaxBackoff + slack)
+		if h.TotalDowntime > bound {
+			t.Fatalf("downtime %v exceeds capped bound %v over %d restarts",
+				h.TotalDowntime, bound, h.Restarts)
+		}
+	})
+
+	t.Run("give-up-and-report", func(t *testing.T) {
+		pol := pol
+		pol.MaxRestarts = 3
+		cl, err := NewCluster(1 << 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// RunC so each crash also escalates to the (empty) rest of the
+		// cluster, exercising the escalation counter.
+		if _, err := cl.Add(RunC, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		sup := NewSupervisor(cl, pol)
+		err = sup.Supervise(60, func(_ int, c *Container) error {
+			c.K.Panic("storm: induced crash")
+			return guest.EKERNELDIED
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sup.Health[0]
+		if !h.GaveUp {
+			t.Fatal("supervisor never gave up")
+		}
+		if h.Restarts != pol.MaxRestarts {
+			t.Fatalf("restarts = %d, want exactly MaxRestarts %d", h.Restarts, pol.MaxRestarts)
+		}
+		if h.Escalations == 0 {
+			t.Fatal("RunC crashes recorded no escalations")
+		}
+		var b strings.Builder
+		if err := sup.Report(&b); err != nil {
+			t.Fatal(err)
+		}
+		rep := b.String()
+		for _, col := range []string{"warm", "cold", "fallbk", "escal", "gaveup"} {
+			if !strings.Contains(rep, col) {
+				t.Fatalf("report missing %q column:\n%s", col, rep)
+			}
+		}
+		if !strings.Contains(rep, "true") {
+			t.Fatalf("report does not surface the give-up:\n%s", rep)
+		}
+	})
+}

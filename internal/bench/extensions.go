@@ -25,6 +25,7 @@ func Extensions() []Experiment {
 		{"ext-preempt", "Timer-tick (preemption) tax per runtime", ExtPreempt},
 		{"chaos", "Fault-injection survival across runtimes (Fig. 2)", ExtChaos},
 		{"smp", "Multi-core scaling & TLB-shootdown latency (SMP engine)", ExtSMP},
+		{"snapshot", "Checkpoint/restore, live migration & warm-restart MTTR", ExtSnapshot},
 		{"breakdown", "Cycle attribution: per-phase span trees vs measured totals", ExtBreakdown},
 	}
 }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotDeterministic: the snapshot report — and the checkpoint
+// blobs inside it — must be byte-identical across parallel fan-outs and
+// repeated runs. The cells are isolated simulations on virtual clocks,
+// so any divergence is a real nondeterminism bug.
+func TestSnapshotDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full snapshot grid in -short mode")
+	}
+	render := func(parallel int) ([]byte, *SnapshotReport) {
+		rep, err := RunSnapshot(1, parallel, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshotJSON(rep, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep
+	}
+	seq, repSeq := render(1)
+	par, repPar := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("BENCH_snapshot.json differs between -parallel 1 and -parallel 8:\n%s\n---\n%s", seq, par)
+	}
+	again, _ := render(1)
+	if !bytes.Equal(seq, again) {
+		t.Fatal("BENCH_snapshot.json differs between repeated runs")
+	}
+	for i, row := range repSeq.Rows {
+		if !bytes.Equal(repSeq.blobs[i], repPar.blobs[i]) {
+			t.Fatalf("%s checkpoint blob differs between -parallel 1 and -parallel 8", row.Runtime)
+		}
+		if len(repSeq.blobs[i]) != row.CheckpointB {
+			t.Fatalf("%s: blob %d bytes, report says %d", row.Runtime, len(repSeq.blobs[i]), row.CheckpointB)
+		}
+	}
+}
+
+// TestSnapshotReportShape: every runtime's row carries a live
+// fingerprint-verified restore and the acceptance-critical deltas:
+// nonzero downtime, converged pre-copy, and (for the per-container
+// kernels with warm restores) warm MTTR strictly below cold.
+func TestSnapshotReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full snapshot grid in -short mode")
+	}
+	rep, err := RunSnapshot(1, DefaultParallel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("want 5 runtimes, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.CheckpointB == 0 || r.ResidentPages == 0 {
+			t.Errorf("%s: empty checkpoint (%d bytes, %d pages)", r.Runtime, r.CheckpointB, r.ResidentPages)
+		}
+		if r.DowntimeNs <= 0 || r.PreDumpRounds < 1 || r.StopPages > r.PreDumpPages {
+			t.Errorf("%s: implausible migration: %+v", r.Runtime, r)
+		}
+		if r.RestoreNs <= 0 {
+			t.Errorf("%s: free restore", r.Runtime)
+		}
+	}
+	if rep.CheckpointBlob("CKI-BM") == nil {
+		t.Fatal("no CKI checkpoint blob for the smoke job")
+	}
+	// The headline robustness claim (ISSUE acceptance): warm restarts
+	// recover faster than cold for at least CKI and PVM.
+	for _, name := range []string{"CKI-BM", "PVM-BM"} {
+		for _, r := range rep.Rows {
+			if r.Runtime != name {
+				continue
+			}
+			if r.WarmRestores == 0 {
+				t.Errorf("%s: no warm restores happened", name)
+			}
+			if r.WarmMTTRNs >= r.ColdMTTRNs {
+				t.Errorf("%s: warm MTTR %v not below cold %v", name, r.WarmMTTR, r.ColdMTTR)
+			}
+		}
+	}
+}

@@ -50,6 +50,10 @@ const (
 	// AckDelay stalls one remote vCPU's shootdown acknowledgement (the
 	// target has interrupts masked or is mid-VM-exit).
 	AckDelay Site = "ack-delay"
+	// SnapshotTorn truncates a checkpoint blob mid-write (a torn write:
+	// the writer died between the header and the trailer). The decoder
+	// must detect the damage by checksum and reject it cleanly.
+	SnapshotTorn Site = "snap-torn-write"
 )
 
 // Injector is the narrow interface consumers consult. Fire reports

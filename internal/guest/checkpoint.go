@@ -1,0 +1,442 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagetable"
+)
+
+// Crash-consistent checkpoint/restore of one guest kernel.
+//
+// The checkpoint is CRIU-style: it serializes the *logical* kernel
+// state — files, processes, VMAs, which pages are resident and what
+// their accessed/dirty bits say — and the restore path rebuilds that
+// state on a freshly booted container through the ordinary guest APIs.
+// Every page-table page is therefore reconstructed through the
+// runtime's mediated PTE path (the KSM validates each entry under CKI,
+// PVM syncs its shadow, HVM repopulates its EPT), which is what makes a
+// restored container indistinguishable from the original at the
+// fingerprint level without ever copying raw table frames between
+// machines. Physical frame numbers are *not* preserved — they cannot
+// be, on a machine whose allocator is in a different state — so
+// equality is checked over the PFN-isomorphic canonical form
+// (audit.CanonicalFingerprint).
+
+// ErrCheckpoint wraps every reason a kernel refuses to be captured.
+type ErrCheckpoint struct{ Reason string }
+
+func (e *ErrCheckpoint) Error() string { return "guest: cannot checkpoint: " + e.Reason }
+
+// FDImage is one open regular-file descriptor.
+type FDImage struct {
+	FD     int
+	Path   string
+	Pos    uint64
+	Append bool
+}
+
+// VMAImage is one virtual memory area.
+type VMAImage struct {
+	Start, End uint64
+	Prot       Prot
+	HasFile    bool
+	Path       string
+	Off        uint64
+	Huge       bool
+}
+
+// PageImage records one resident page and its leaf accessed/dirty bits.
+type PageImage struct {
+	VA       uint64
+	Accessed bool
+	Dirty    bool
+}
+
+// ProcImage is one process.
+type ProcImage struct {
+	PID, Parent int
+	Affinity    int
+	Exited      bool
+	ExitCode    int
+	PCID        uint16
+	Brk         uint64
+	NextFD      int
+	MmapCursor  uint64
+	// HeapVMA indexes VMAs (-1 when the process has no brk heap).
+	HeapVMA  int
+	FDs      []FDImage
+	VMAs     []VMAImage
+	Resident []PageImage
+}
+
+// FileImage is one tmpfs inode with its full contents.
+type FileImage struct {
+	Path  string
+	Ino   uint64
+	Dir   bool
+	Dirty bool
+	Data  []byte
+}
+
+// Image is the complete logical state of one guest kernel. All slices
+// are sorted (files by path, processes by PID, descriptors by fd,
+// resident pages by VA), so encoding an Image is deterministic.
+type Image struct {
+	ContainerID int
+	NextPID     int
+	NextASID    int
+	NextIno     uint64
+	// CurPID is the running process (0 when none is runnable).
+	CurPID    int
+	RunQueue  []int
+	Timeslice clock.Time
+	Files     []FileImage
+	Procs     []ProcImage
+}
+
+// ResidentPages counts resident 4 KiB-or-huge mappings in the image.
+func (img *Image) ResidentPages() int {
+	n := 0
+	for i := range img.Procs {
+		n += len(img.Procs[i].Resident)
+	}
+	return n
+}
+
+// costCheckpointPage is the per-resident-page scan cost of a
+// checkpoint pass (walk the leaf entry, note A/D, queue the copy).
+var costCheckpointPage = clock.FromNanos(180)
+
+// CaptureImage snapshots the kernel's logical state at a quiescent
+// point. The v1 format refuses states it cannot rebuild exactly: a dead
+// kernel, open pipe/socket descriptors, outstanding COW sharings,
+// registered SIGSEGV handlers, unlinked-but-open files, and pending
+// virtual interrupts all return *ErrCheckpoint.
+func (k *Kernel) CaptureImage() (*Image, error) {
+	if k.dead {
+		return nil, &ErrCheckpoint{Reason: "kernel has panicked"}
+	}
+	if len(k.cowRefs) > 0 {
+		return nil, &ErrCheckpoint{Reason: "outstanding copy-on-write sharings"}
+	}
+	if !k.VIC.Enabled() || k.VIC.Pending() > 0 {
+		return nil, &ErrCheckpoint{Reason: "virtual interrupt controller not quiescent"}
+	}
+	img := &Image{
+		ContainerID: k.ContainerID,
+		NextPID:     k.nextPID,
+		NextASID:    k.nextASID,
+		NextIno:     k.FS.nextIno,
+		Timeslice:   k.Timeslice,
+	}
+	if k.Cur != nil {
+		img.CurPID = k.Cur.PID
+	}
+	for _, p := range k.runq {
+		img.RunQueue = append(img.RunQueue, p.PID)
+	}
+
+	paths := make([]string, 0, len(k.FS.files))
+	for path := range k.FS.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		ino := k.FS.files[path]
+		img.Files = append(img.Files, FileImage{
+			Path: path, Ino: ino.Ino, Dir: ino.Dir, Dirty: ino.Dirty,
+			Data: append([]byte(nil), ino.Data...),
+		})
+		k.charge(copyCost(len(ino.Data)))
+	}
+
+	pids := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		pi, err := k.captureProc(k.procs[pid])
+		if err != nil {
+			return nil, err
+		}
+		img.Procs = append(img.Procs, pi)
+	}
+	return img, nil
+}
+
+func (k *Kernel) captureProc(p *Proc) (ProcImage, error) {
+	pi := ProcImage{
+		PID: p.PID, Parent: p.Parent, Affinity: p.Affinity,
+		Exited: p.Exited, ExitCode: p.ExitCode,
+		Brk: p.brk, NextFD: p.nextFD, HeapVMA: -1,
+	}
+	if p.segv != nil {
+		return pi, &ErrCheckpoint{Reason: fmt.Sprintf("pid %d has a registered SIGSEGV handler", p.PID)}
+	}
+	fds := make([]int, 0, len(p.fds))
+	for fd := range p.fds {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	for _, fd := range fds {
+		f := p.fds[fd]
+		if f.kind != kindRegular {
+			return pi, &ErrCheckpoint{Reason: fmt.Sprintf("pid %d fd %d is a pipe or socket", p.PID, fd)}
+		}
+		if k.FS.files[f.inode.Name] != f.inode {
+			return pi, &ErrCheckpoint{Reason: fmt.Sprintf("pid %d fd %d refers to an unlinked file", p.PID, fd)}
+		}
+		pi.FDs = append(pi.FDs, FDImage{FD: fd, Path: f.inode.Name, Pos: f.pos, Append: f.append_})
+	}
+	if p.Exited {
+		// Zombies have no address space left to capture.
+		return pi, nil
+	}
+	as := p.AS
+	pi.PCID = as.PCID
+	pi.MmapCursor = as.mmapCursor
+	for i, v := range as.vmas {
+		vi := VMAImage{Start: v.Start, End: v.End, Prot: v.Prot, Off: v.Off, Huge: v.Huge}
+		if v.File != nil {
+			if k.FS.files[v.File.Name] != v.File {
+				return pi, &ErrCheckpoint{Reason: fmt.Sprintf("pid %d maps an unlinked file", p.PID)}
+			}
+			vi.HasFile, vi.Path = true, v.File.Name
+		}
+		pi.VMAs = append(pi.VMAs, vi)
+		if v == as.heapVMA {
+			pi.HeapVMA = i
+		}
+	}
+	vas := make([]uint64, 0, len(as.mapped))
+	for va := range as.mapped {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	for _, va := range vas {
+		w, err := pagetable.Translate(k.Mem, as.Root, va)
+		if err != nil {
+			return pi, &ErrCheckpoint{Reason: fmt.Sprintf("pid %d: resident va %#x unmapped in tables", p.PID, va)}
+		}
+		leaf := pagetable.ReadEntry(k.Mem, w.Slot.PTP, w.Slot.Index)
+		pi.Resident = append(pi.Resident, PageImage{
+			VA:       va,
+			Accessed: leaf&pagetable.FlagAccessed != 0,
+			Dirty:    leaf&pagetable.FlagDirty != 0,
+		})
+		k.Phase("checkpoint_scan", costCheckpointPage)
+	}
+	return pi, nil
+}
+
+// RestoreImage rebuilds the image on this freshly booted kernel. The
+// caller must hand in a kernel straight out of boot (one init process,
+// nothing resident); everything the image describes is reconstructed
+// through the runtime's paravirt hooks, so the mediated PTE path —
+// including CKI's KSM validation and top-copy maintenance — sees every
+// rebuilt entry. Preemption is disabled for the duration and re-armed
+// to the image's timeslice at the end.
+func (k *Kernel) RestoreImage(img *Image) error {
+	if k.dead {
+		return fmt.Errorf("guest: restore onto a dead kernel")
+	}
+	if img.ContainerID != k.ContainerID {
+		return fmt.Errorf("guest: restore of container %d onto container %d", img.ContainerID, k.ContainerID)
+	}
+	k.Timeslice = 0
+	k.timer.Period = 0
+
+	// Tear down the boot init process; the image replaces it wholesale.
+	if k.Cur != nil {
+		if err := k.DestroyAddrSpace(k.Cur.AS); err != nil {
+			return fmt.Errorf("guest: restore teardown: %w", err)
+		}
+	}
+	k.procs = make(map[int]*Proc)
+	k.Cur = nil
+	k.runq = nil
+
+	k.FS.files = make(map[string]*Inode)
+	for i := range img.Files {
+		fi := &img.Files[i]
+		k.FS.files[fi.Path] = &Inode{
+			Ino: fi.Ino, Name: fi.Path, Dir: fi.Dir, Dirty: fi.Dirty,
+			Data: append([]byte(nil), fi.Data...),
+		}
+		k.charge(copyCost(len(fi.Data)))
+	}
+	k.FS.nextIno = img.NextIno
+
+	for i := range img.Procs {
+		if err := k.restoreProc(&img.Procs[i]); err != nil {
+			return err
+		}
+	}
+
+	for _, pid := range img.RunQueue {
+		p := k.procs[pid]
+		if p == nil {
+			return fmt.Errorf("guest: restore: runqueue pid %d unknown", pid)
+		}
+		k.runq = append(k.runq, p)
+	}
+	if img.CurPID != 0 {
+		p := k.procs[img.CurPID]
+		if p == nil {
+			return fmt.Errorf("guest: restore: current pid %d unknown", img.CurPID)
+		}
+		k.Cur = p
+		if err := k.PV.SwitchAS(k, p.AS); err != nil {
+			return fmt.Errorf("guest: restore: final switch: %w", err)
+		}
+	}
+	k.nextPID = img.NextPID
+	k.nextASID = img.NextASID
+	if img.Timeslice > 0 {
+		k.EnablePreemption(img.Timeslice)
+	}
+	return nil
+}
+
+func (k *Kernel) restoreProc(pi *ProcImage) error {
+	p := &Proc{
+		PID: pi.PID, Parent: pi.Parent, Affinity: pi.Affinity,
+		Exited: pi.Exited, ExitCode: pi.ExitCode,
+		fds: make(map[int]*File), nextFD: pi.NextFD, brk: pi.Brk,
+	}
+	k.procs[p.PID] = p
+	for _, fi := range pi.FDs {
+		ino, err := k.FS.Lookup(fi.Path)
+		if err != nil {
+			return fmt.Errorf("guest: restore: pid %d fd %d path %q: %w", pi.PID, fi.FD, fi.Path, err)
+		}
+		p.fds[fi.FD] = &File{kind: kindRegular, inode: ino, pos: fi.Pos, append_: fi.Append}
+	}
+	if pi.Exited {
+		return nil
+	}
+	as, err := k.NewAddrSpace()
+	if err != nil {
+		return fmt.Errorf("guest: restore: pid %d address space: %w", pi.PID, err)
+	}
+	// The image dictates the PCID (the boot-time ASID sequence differs);
+	// nextASID is rewritten after the loop.
+	as.PCID = pi.PCID
+	as.mmapCursor = pi.MmapCursor
+	p.AS = as
+	for i := range pi.VMAs {
+		vi := &pi.VMAs[i]
+		v := &VMA{Start: vi.Start, End: vi.End, Prot: vi.Prot, Off: vi.Off, Huge: vi.Huge}
+		if vi.HasFile {
+			ino, err := k.FS.Lookup(vi.Path)
+			if err != nil {
+				return fmt.Errorf("guest: restore: pid %d vma %q: %w", pi.PID, vi.Path, err)
+			}
+			v.File = ino
+		}
+		if err := as.addVMA(v); err != nil {
+			return fmt.Errorf("guest: restore: pid %d vma [%#x,%#x): %w", pi.PID, vi.Start, vi.End, err)
+		}
+		if i == pi.HeapVMA {
+			as.heapVMA = v
+		}
+	}
+	// Fault every resident page back in through the runtime's demand-
+	// paging path, then replay the access that gives the leaf its
+	// accessed/dirty bits via the MMU (the only writer of A/D).
+	k.Cur = p
+	if err := k.PV.SwitchAS(k, as); err != nil {
+		return fmt.Errorf("guest: restore: pid %d switch: %w", pi.PID, err)
+	}
+	for _, pg := range pi.Resident {
+		if err := k.HandleUserFault(p, pg.VA, pg.Dirty); err != nil {
+			return fmt.Errorf("guest: restore: pid %d page %#x: %v", pi.PID, pg.VA, err)
+		}
+		var acc mmu.Access
+		switch {
+		case pg.Dirty:
+			acc = mmu.Write
+		case pg.Accessed:
+			acc = mmu.Read
+		default:
+			continue // freshly mapped leaves carry clear A/D already
+		}
+		if flt := k.PV.UserAccess(k, as, pg.VA, acc); flt != nil {
+			return fmt.Errorf("guest: restore: pid %d page %#x replay: %v", pi.PID, pg.VA, flt)
+		}
+	}
+	return nil
+}
+
+// PIDs returns every process ID, sorted (fingerprint walks and
+// checkpoint tooling iterate processes in this order).
+func (k *Kernel) PIDs() []int {
+	out := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ResidentVAs returns the resident page addresses of the address
+// space, sorted.
+func (as *AddrSpace) ResidentVAs() []uint64 {
+	out := make([]uint64, 0, len(as.mapped))
+	for va := range as.mapped {
+		out = append(out, va)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- dirty-page tracking ------------------------------------------------
+
+// TrackDirty switches dirty-page logging on or off. While on, every
+// mediated leaf-level PTE store (the Sink chokepoint all runtimes'
+// table updates funnel through) marks the page it serves; live
+// migration's pre-dump rounds read and reset the set with DirtySwap.
+// PD-level stores mark their whole 2 MiB region — the conservative
+// granule hardware dirty-logging of non-leaf entries implies.
+func (k *Kernel) TrackDirty(on bool) {
+	if on {
+		k.dirty = make(map[uint64]struct{})
+	} else {
+		k.dirty = nil
+	}
+}
+
+// DirtyCount reports the number of pages marked since the last swap.
+func (k *Kernel) DirtyCount() int { return len(k.dirty) }
+
+// DirtySwap returns the marked pages (sorted) and resets the set.
+func (k *Kernel) DirtySwap() []uint64 {
+	if k.dirty == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(k.dirty))
+	for va := range k.dirty {
+		out = append(out, va)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	k.dirty = make(map[uint64]struct{})
+	return out
+}
+
+// markDirty is called from the mapper Sink on every mediated PTE store.
+func (k *Kernel) markDirty(level int, va uint64) {
+	if k.dirty == nil {
+		return
+	}
+	switch level {
+	case pagetable.LevelPT:
+		k.dirty[va&^uint64(mem.PageMask)] = struct{}{}
+	case pagetable.LevelPD:
+		k.dirty[va&^uint64(mem.HugePageSize-1)] = struct{}{}
+	}
+}

@@ -209,6 +209,11 @@ type Kernel struct {
 	// returns EKERNELDIED (see panic.go).
 	dead     bool
 	panicMsg string
+
+	// dirty, when non-nil, logs pages whose leaf PTEs were stored
+	// through the mediated Sink since the last DirtySwap (live
+	// migration's pre-dump rounds; see checkpoint.go).
+	dirty map[uint64]struct{}
 }
 
 // New creates a guest kernel. The caller (a runtime backend) supplies

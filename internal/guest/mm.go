@@ -125,6 +125,7 @@ func (k *Kernel) mapper(as *AddrSpace) *pagetable.Mapper {
 		},
 		Sink: func(level int, va uint64, ptp mem.PFN, idx int, v pagetable.PTE) error {
 			k.Stats.PTEWrites++
+			k.markDirty(level, va)
 			// The old/readback pair brackets the mediated store so the
 			// audit log captures both KSM rejections (old == readback)
 			// and injected corruption (readback != requested value).

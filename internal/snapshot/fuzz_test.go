@@ -1,0 +1,40 @@
+package snapshot
+
+import (
+	"testing"
+)
+
+// FuzzDecode: the CKISNAP1 decoder must return errors on hostile input
+// — truncations, torn writes, bit flips, forged counts — and never
+// panic or allocate past the input's own size class. The seed corpus
+// mirrors the audit package's CKIAUD1 fuzz target: a valid blob, its
+// truncations at structural boundaries, and targeted mutations.
+func FuzzDecode(f *testing.F) {
+	blob := Encode(sample())
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(blob[:len(Magic)+8])
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:len(blob)-8]) // checksum torn off
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	forged := append([]byte(nil), blob...)
+	forged[len(Magic)+2] = 0xff // inside the config section
+	f.Add(forged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to exactly what was decoded
+		// (canonical form) and describe itself without panicking.
+		_ = s.Describe()
+		re := Encode(s)
+		if string(re) != string(data) {
+			t.Fatalf("accepted non-canonical encoding: %d in, %d out", len(data), len(re))
+		}
+	})
+}
