@@ -41,6 +41,16 @@
 //
 //	ckibench -exp snapshot -json > BENCH_snapshot.json
 //	ckibench -exp snapshot -snap-out cki.snap
+//
+// The fleet experiment simulates datacenter-scale serving: open-loop
+// heavy-traffic arrivals placed across a fleet of simulated nodes by a
+// pluggable scheduler, with capacity curves, p50/p99/p999 tails, and a
+// per-node machine replay stage. It emits the BENCH_fleet artifact:
+//
+//	ckibench -exp fleet -json > BENCH_fleet.json
+//	ckibench -exp fleet -nodes 8 -sched spread       # smaller fleet, one scheduler
+//	ckibench -exp fleet -arrival-rate 50000          # one segment at 50k arrivals/s
+//	ckibench -exp fleet -trace-file diurnal.trace    # piecewise rate trace
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bench"
+	"repro/internal/fleet"
 )
 
 func writeFile(path string, data []byte) {
@@ -111,6 +122,15 @@ type config struct {
 	seeds      int
 	snapOut    string
 	interval   int
+	nodes      int
+	sched      string
+	arrival    float64
+	traceFile  string
+}
+
+// fleetFlags reports whether any fleet-only flag is set.
+func (c config) fleetFlags() bool {
+	return c.nodes != 0 || c.sched != "" || c.arrival != 0 || c.traceFile != ""
 }
 
 // needProf reports whether any span/metrics artifact flag is set.
@@ -142,8 +162,25 @@ func validate(c config) error {
 	if (c.snapOut != "" || c.interval != 1) && c.exp != "snapshot" {
 		return errors.New("-snap-out/-checkpoint-interval require -exp snapshot")
 	}
-	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" {
-		return errors.New("-json is only supported with -exp chaos, smp, wallclock, or snapshot")
+	if c.fleetFlags() && c.exp != "fleet" {
+		return errors.New("-nodes/-sched/-arrival-rate/-trace-file require -exp fleet")
+	}
+	if c.nodes < 0 {
+		return errors.New("-nodes must be >= 1")
+	}
+	if c.sched != "" {
+		if _, err := fleet.SchedulerByName(c.sched); err != nil {
+			return err
+		}
+	}
+	if c.arrival < 0 {
+		return errors.New("-arrival-rate must be > 0")
+	}
+	if c.arrival != 0 && c.traceFile != "" {
+		return errors.New("-arrival-rate and -trace-file are mutually exclusive")
+	}
+	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" {
+		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, or fleet")
 	}
 	return nil
 }
@@ -163,6 +200,10 @@ func main() {
 	flag.IntVar(&cfg.seeds, "seeds", 1, "with -exp chaos -json: sweep this many derived seeds")
 	flag.StringVar(&cfg.snapOut, "snap-out", "", "with -exp snapshot: write the CKI cell's CKISNAP1 checkpoint image to FILE")
 	flag.IntVar(&cfg.interval, "checkpoint-interval", 1, "with -exp snapshot: supervised rounds between periodic checkpoints in the warm-restart comparison")
+	flag.IntVar(&cfg.nodes, "nodes", 0, "with -exp fleet: simulated node count (default 50)")
+	flag.StringVar(&cfg.sched, "sched", "", "with -exp fleet: restrict to one scheduler (binpack, spread; default both)")
+	flag.Float64Var(&cfg.arrival, "arrival-rate", 0, "with -exp fleet: replace the capacity curve with one open-loop segment at this rate (arrivals/sec)")
+	flag.StringVar(&cfg.traceFile, "trace-file", "", "with -exp fleet: drive arrivals from a piecewise rate trace file (\"rate_per_sec duration_ms\" lines)")
 	flag.Parse()
 
 	if err := validate(cfg); err != nil {
@@ -178,6 +219,29 @@ func main() {
 		}
 		if err := bench.WriteWallclockJSON(rep, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: wallclock: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if cfg.exp == "fleet" {
+		rep, err := bench.RunFleet(bench.FleetOpts{
+			Scale: cfg.scale, Parallel: cfg.parallel,
+			Nodes: cfg.nodes, Sched: cfg.sched,
+			ArrivalRate: cfg.arrival, TraceFile: cfg.traceFile,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		var werr error
+		if cfg.jsonOut {
+			werr = bench.WriteFleetJSON(rep, os.Stdout)
+		} else {
+			werr = bench.WriteFleetTable(rep, os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: fleet: %v\n", werr)
 			os.Exit(1)
 		}
 		return

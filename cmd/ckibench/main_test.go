@@ -34,6 +34,13 @@ func TestValidate(t *testing.T) {
 		{"snapshot json", ok(config{exp: "snapshot", jsonOut: true}), false},
 		{"snapshot blob out", ok(config{exp: "snapshot", snapOut: "cki.snap"}), false},
 		{"snapshot interval", ok(config{exp: "snapshot", interval: 5}), false},
+		{"fleet json", ok(config{exp: "fleet", jsonOut: true}), false},
+		{"fleet nodes", ok(config{exp: "fleet", nodes: 8}), false},
+		{"fleet sched binpack", ok(config{exp: "fleet", sched: "binpack"}), false},
+		{"fleet sched spread", ok(config{exp: "fleet", sched: "spread"}), false},
+		{"fleet arrival rate", ok(config{exp: "fleet", arrival: 50_000}), false},
+		{"fleet trace file", ok(config{exp: "fleet", traceFile: "rates.trace"}), false},
+		{"fleet everything", ok(config{exp: "fleet", jsonOut: true, nodes: 8, sched: "spread", arrival: 1000, parallel: 8}), false},
 
 		{"parallel 0", config{parallel: 0, seeds: 1}, true},
 		{"parallel negative", config{parallel: -2, seeds: 1}, true},
@@ -53,6 +60,17 @@ func TestValidate(t *testing.T) {
 		{"snap-out wrong exp", ok(config{exp: "chaos", snapOut: "cki.snap"}), true},
 		{"snap-out without exp", ok(config{snapOut: "cki.snap"}), true},
 		{"interval wrong exp", ok(config{exp: "smp", jsonOut: true, interval: 4}), true},
+		{"nodes without fleet", ok(config{nodes: 8}), true},
+		{"nodes wrong exp", ok(config{exp: "smp", nodes: 8}), true},
+		{"nodes negative", ok(config{exp: "fleet", nodes: -1}), true},
+		{"sched without fleet", ok(config{sched: "spread"}), true},
+		{"sched unknown", ok(config{exp: "fleet", sched: "random"}), true},
+		{"arrival-rate without fleet", ok(config{arrival: 1000}), true},
+		{"arrival-rate wrong exp", ok(config{exp: "chaos", arrival: 1000}), true},
+		{"arrival-rate negative", ok(config{exp: "fleet", arrival: -5}), true},
+		{"trace-file without fleet", ok(config{traceFile: "rates.trace"}), true},
+		{"trace-file wrong exp", ok(config{exp: "snapshot", traceFile: "rates.trace"}), true},
+		{"arrival-rate with trace-file", ok(config{exp: "fleet", arrival: 1000, traceFile: "rates.trace"}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -26,6 +26,7 @@ func Extensions() []Experiment {
 		{"chaos", "Fault-injection survival across runtimes (Fig. 2)", ExtChaos},
 		{"smp", "Multi-core scaling & TLB-shootdown latency (SMP engine)", ExtSMP},
 		{"snapshot", "Checkpoint/restore, live migration & warm-restart MTTR", ExtSnapshot},
+		{"fleet", "Datacenter fleet serving: capacity curves & tail latency", ExtFleet},
 		{"breakdown", "Cycle attribution: per-phase span trees vs measured totals", ExtBreakdown},
 	}
 }

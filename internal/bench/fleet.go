@@ -1,0 +1,523 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/backends"
+	"repro/internal/clock"
+	"repro/internal/des"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/snapshot"
+)
+
+// The fleet experiment: datacenter-scale serving. A calibration pass
+// boots one real container per runtime and measures its machine
+// truths — cold boot, per-request service, warm-restore cost — then an
+// open-loop heavy-traffic grid drives a simulated fleet of nodes
+// through a capacity curve (0.5x..1.3x of nominal capacity), a bursty
+// diurnal trace, and an eviction storm, under both schedulers, with
+// exact p50/p99/p999 arrival-to-completion tails. A replay stage then
+// re-executes the storm cell's hottest nodes on real machines under
+// the warm-restart supervisor, one node per grid cell, streaming
+// per-node digests. Every cell is an isolated simulation, so the
+// report is byte-identical for any -parallel value.
+
+// FleetSeed tags the committed BENCH_fleet report and roots every
+// derived per-cell seed.
+const FleetSeed = 0xf1ee7
+
+const (
+	// fleetDefaultNodes x fleetSlotsPerNode is the simulated fleet.
+	fleetDefaultNodes = 50
+	fleetSlotsPerNode = 4
+	// fleetQueueLimit is the per-node admission bound.
+	fleetQueueLimit = 16
+	// fleetMeanReqs is the mean per-container request demand.
+	fleetMeanReqs = 8
+	// fleetCalibReqs sizes the calibration service-time window.
+	fleetCalibReqs = 16
+	// fleetReplayNodes is how many of the storm cell's nodes the replay
+	// stage re-executes on real machines.
+	fleetReplayNodes = 4
+	// fleetReplayMaxReqs bounds one replayed node's request volume so a
+	// small -nodes fleet cannot make a replay cell arbitrarily slow;
+	// the bound is part of the experiment definition, so artifacts stay
+	// deterministic.
+	fleetReplayMaxReqs = 512
+	// fleetArrivalsPerCell is the per-scale arrival volume every grid
+	// cell targets (the horizon adjusts to the offered rate). It must
+	// comfortably exceed the fleet's total buffering — nodes x (slots +
+	// queue limit) — or an overload segment drains into queues at the
+	// horizon instead of rejecting.
+	fleetArrivalsPerCell = 6000
+)
+
+// fleetLoadPoints are the capacity-curve load multipliers; the two
+// labels after them are the diurnal and eviction-storm segments.
+var fleetLoadPoints = []float64{0.5, 0.7, 0.85, 0.95, 1.1, 1.3}
+
+// FleetCalibration is one runtime's measured cost model.
+type FleetCalibration struct {
+	Runtime       string  `json:"runtime"`
+	BootNs        float64 `json:"boot_ns"`
+	ServiceNs     float64 `json:"service_ns"`
+	WarmRestoreNs float64 `json:"warm_restore_ns"`
+}
+
+// FleetRow is one (runtime, scheduler, load segment) measurement.
+type FleetRow struct {
+	Runtime       string  `json:"runtime"`
+	Sched         string  `json:"sched"`
+	Load          string  `json:"load"`
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	Arrived       int     `json:"arrived"`
+	Completed     int     `json:"completed"`
+	Rejected      int     `json:"rejected"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	MaxQueue      int     `json:"max_queue"`
+	Evicted       int     `json:"evicted,omitempty"`
+	WarmRestores  int     `json:"warm_restores,omitempty"`
+	ColdRedos     int     `json:"cold_redos,omitempty"`
+}
+
+// FleetReport is the whole experiment (the committed BENCH_fleet
+// artifact).
+type FleetReport struct {
+	Seed         uint64               `json:"seed"`
+	Scale        int                  `json:"scale"`
+	Nodes        int                  `json:"nodes"`
+	SlotsPerNode int                  `json:"slots_per_node"`
+	QueueLimit   int                  `json:"queue_limit"`
+	MeanReqs     int                  `json:"mean_reqs"`
+	Schedulers   []string             `json:"schedulers"`
+	Calibration  []FleetCalibration   `json:"calibration"`
+	Rows         []FleetRow           `json:"rows"`
+	Replay       []fleet.NodeArtifact `json:"replay"`
+}
+
+// FleetOpts parameterizes the experiment; zero values mean the
+// committed-artifact defaults.
+type FleetOpts struct {
+	Scale    int
+	Parallel int
+	// Nodes overrides the fleet size (default fleetDefaultNodes).
+	Nodes int
+	// Sched restricts the run to one scheduler ("" = all).
+	Sched string
+	// ArrivalRate, when > 0, replaces the capacity curve with a single
+	// open-loop segment at that absolute rate (arrivals/sec).
+	ArrivalRate float64
+	// TraceFile, when set, replaces the capacity curve with the
+	// piecewise rate trace parsed from the file ("rate_per_sec
+	// duration_ms" lines).
+	TraceFile string
+}
+
+// fleetSpecs is the runtime axis: every runtime, sized for many small
+// co-resident containers (the replay stage shares one machine per
+// node).
+func fleetSpecs() []struct {
+	kind backends.Kind
+	opts backends.Options
+} {
+	return []struct {
+		kind backends.Kind
+		opts backends.Options
+	}{
+		{backends.RunC, backends.Options{}},
+		{backends.HVM, backends.Options{GuestFrames: 1 << 12}},
+		{backends.PVM, backends.Options{GuestFrames: 1 << 12}},
+		{backends.CKI, backends.Options{SegmentFrames: 1 << 11}},
+		{backends.GVisor, backends.Options{}},
+	}
+}
+
+// fleetCalibrate measures one runtime's cost model on a real machine:
+// the boot is the virtual time New charges, the service time averages
+// fleetCalibReqs requests after warmup, and the warm-restore cost is a
+// checkpoint/restore round trip onto a fresh machine.
+func fleetCalibrate(kind backends.Kind, opts backends.Options) (fleet.RuntimeCosts, string, error) {
+	var costs fleet.RuntimeCosts
+	c, err := backends.New(kind, opts)
+	if err != nil {
+		return costs, "", err
+	}
+	costs.Boot = c.Clk.Now()
+	for i := 0; i < 4; i++ {
+		if err := smpRequest(c.K); err != nil {
+			return costs, "", err
+		}
+	}
+	t0 := c.Clk.Now()
+	for i := 0; i < fleetCalibReqs; i++ {
+		if err := smpRequest(c.K); err != nil {
+			return costs, "", err
+		}
+	}
+	costs.Service = (c.Clk.Now() - t0) / fleetCalibReqs
+
+	snap, err := backends.Checkpoint(c)
+	if err != nil {
+		return costs, "", fmt.Errorf("%s: checkpoint: %w", c.Name, err)
+	}
+	m2, err := backends.NewMachine(snap.Config.HostFrames, snap.Config.TLBEntries)
+	if err != nil {
+		return costs, "", err
+	}
+	if _, err := backends.RestoreBytes(m2, snapshot.Encode(snap)); err != nil {
+		return costs, "", fmt.Errorf("%s: restore: %w", c.Name, err)
+	}
+	costs.WarmRestore = m2.Clk.Now()
+	return costs, c.Name, nil
+}
+
+// fleetSegment is one load segment of the grid: a label plus the
+// arrival stream builder (deterministic per seed).
+type fleetSegment struct {
+	label string
+	// offered is the nominal offered rate (arrivals/sec), 0 when the
+	// segment defines its own shape (diurnal, trace).
+	offered float64
+	build   func(seed uint64) ([]des.Arrival, clock.Time)
+	// storm marks the eviction-storm segment.
+	storm bool
+}
+
+// fleetHorizon sizes a segment so it carries ~fleetArrivalsPerCell
+// arrivals per scale unit at the given rate.
+func fleetHorizon(scale int, rate float64) clock.Time {
+	n := float64(fleetArrivalsPerCell * scale)
+	return clock.Time(n / rate * float64(clock.Second))
+}
+
+// fleetSegments builds the load axis for one runtime's capacity
+// (arrivals/sec at which the fleet is nominally saturated).
+func fleetSegments(o FleetOpts, capacity float64) ([]fleetSegment, error) {
+	if o.TraceFile != "" {
+		f, err := os.Open(o.TraceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		segs, err := des.ParseRateTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", o.TraceFile, err)
+		}
+		var horizon clock.Time
+		var weighted float64
+		for _, s := range segs {
+			horizon += s.Dur
+			weighted += s.RatePerSec * s.Dur.Seconds()
+		}
+		offered := 0.0
+		if horizon > 0 {
+			offered = weighted / horizon.Seconds()
+		}
+		return []fleetSegment{{
+			label: "trace", offered: offered,
+			build: func(seed uint64) ([]des.Arrival, clock.Time) {
+				return des.PiecewiseArrivals(seed, segs), horizon
+			},
+		}}, nil
+	}
+	if o.ArrivalRate > 0 {
+		rate := o.ArrivalRate
+		h := fleetHorizon(o.Scale, rate)
+		return []fleetSegment{{
+			label: "custom", offered: rate,
+			build: func(seed uint64) ([]des.Arrival, clock.Time) {
+				return des.PoissonArrivals(seed, rate, h), h
+			},
+		}}, nil
+	}
+	var out []fleetSegment
+	for _, mult := range fleetLoadPoints {
+		rate := mult * capacity
+		h := fleetHorizon(o.Scale, rate)
+		out = append(out, fleetSegment{
+			label: fmt.Sprintf("%.2fx", mult), offered: rate,
+			build: func(seed uint64) ([]des.Arrival, clock.Time) {
+				return des.PoissonArrivals(seed, rate, h), h
+			},
+		})
+	}
+	// Bursty diurnal trace: trough at 0.4x, peak near 1.4x capacity.
+	dh := fleetHorizon(o.Scale, 0.9*capacity)
+	base := 0.4 * capacity
+	out = append(out, fleetSegment{
+		label: "diurnal", offered: 0.9 * capacity,
+		build: func(seed uint64) ([]des.Arrival, clock.Time) {
+			d := des.DiurnalTrace{
+				Seed: seed, BaseRate: base, PeakFactor: 3.5, Periods: 2,
+				BurstProb: 0.005, BurstSize: 6,
+				BurstSpread: dh / 256, Horizon: dh,
+			}
+			return d.Arrivals(), dh
+		},
+	})
+	// Eviction storm at steady 0.8x load.
+	sh := fleetHorizon(o.Scale, 0.8*capacity)
+	srate := 0.8 * capacity
+	out = append(out, fleetSegment{
+		label: "storm", offered: srate, storm: true,
+		build: func(seed uint64) ([]des.Arrival, clock.Time) {
+			return des.PoissonArrivals(seed, srate, sh), sh
+		},
+	})
+	return out, nil
+}
+
+// fleetSchedulers resolves the scheduler axis.
+func fleetSchedulers(name string) ([]fleet.Scheduler, error) {
+	if name == "" {
+		var out []fleet.Scheduler
+		for _, n := range fleet.SchedulerNames() {
+			s, err := fleet.SchedulerByName(n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	s, err := fleet.SchedulerByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []fleet.Scheduler{s}, nil
+}
+
+// fleetCellConfig assembles the control-plane config for one grid
+// cell. The arrival and demand seeds derive from (runtime, segment)
+// only — both schedulers see the identical offered stream, so their
+// rows are directly comparable.
+func fleetCellConfig(o FleetOpts, nodes int, costs fleet.RuntimeCosts,
+	ri, si int, seg fleetSegment, sched fleet.Scheduler) fleet.Config {
+	seed := faults.Child(FleetSeed, ri*64+si)
+	arrivals, horizon := seg.build(seed)
+	cfg := fleet.Config{
+		Nodes: nodes, SlotsPerNode: fleetSlotsPerNode, QueueLimit: fleetQueueLimit,
+		Costs: costs, MeanReqs: fleetMeanReqs,
+		Arrivals: arrivals, Horizon: horizon,
+		Seed: seed, Sched: sched,
+	}
+	if seg.storm {
+		lifetime := costs.Boot + clock.Time(fleetMeanReqs)*costs.Service
+		cfg.SnapshotAge = lifetime / 4
+		cfg.EvictAt = horizon / 2
+		cfg.EvictNodes = nodes / 10
+		if cfg.EvictNodes < 1 {
+			cfg.EvictNodes = 1
+		}
+		cfg.DownFor = horizon / 8
+	}
+	return cfg
+}
+
+// RunFleet executes the fleet experiment. Deterministic: the same
+// opts produce the same report, byte for byte, for any Parallel.
+func RunFleet(o FleetOpts) (*FleetReport, error) {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	nodes := o.Nodes
+	if nodes == 0 {
+		nodes = fleetDefaultNodes
+	}
+	scheds, err := fleetSchedulers(o.Sched)
+	if err != nil {
+		return nil, err
+	}
+	specs := fleetSpecs()
+
+	// Stage 1 — calibration: one real container per runtime, cells
+	// fanned out across host cores.
+	costs := make([]fleet.RuntimeCosts, len(specs))
+	names := make([]string, len(specs))
+	err = RunIndexed(o.Parallel, len(specs), func(i int) error {
+		c, name, err := fleetCalibrate(specs[i].kind, specs[i].opts)
+		if err != nil {
+			return fmt.Errorf("fleet: calibrate %v: %w", specs[i].kind, err)
+		}
+		costs[i], names[i] = c, name
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &FleetReport{
+		Seed: FleetSeed, Scale: o.Scale, Nodes: nodes,
+		SlotsPerNode: fleetSlotsPerNode, QueueLimit: fleetQueueLimit,
+		MeanReqs: fleetMeanReqs,
+	}
+	for _, s := range scheds {
+		rep.Schedulers = append(rep.Schedulers, s.Name())
+	}
+	for i := range specs {
+		rep.Calibration = append(rep.Calibration, FleetCalibration{
+			Runtime:       names[i],
+			BootNs:        float64(costs[i].Boot) / float64(clock.Nanosecond),
+			ServiceNs:     float64(costs[i].Service) / float64(clock.Nanosecond),
+			WarmRestoreNs: float64(costs[i].WarmRestore) / float64(clock.Nanosecond),
+		})
+	}
+
+	// Stage 2 — the control-plane grid plus the replay cells, all
+	// independent, all in one fan-out. Grid cell (ri, si, ci) simulates
+	// one (runtime, segment, scheduler) fleet; replay cell (ri, ni)
+	// recomputes its runtime's storm cell (cheap, pure) and re-executes
+	// node ni of it on a real machine.
+	segsPerRT := make([][]fleetSegment, len(specs))
+	for ri := range specs {
+		lifetime := costs[ri].Boot + clock.Time(fleetMeanReqs)*costs[ri].Service
+		capacity := float64(nodes*fleetSlotsPerNode) / lifetime.Seconds()
+		segs, err := fleetSegments(o, capacity)
+		if err != nil {
+			return nil, err
+		}
+		segsPerRT[ri] = segs
+	}
+	nSegs := len(segsPerRT[0])
+	nGrid := len(specs) * nSegs * len(scheds)
+	nReplay := len(specs) * fleetReplayNodes
+	rows := make([]FleetRow, nGrid)
+	arts := make([]fleet.NodeArtifact, nReplay)
+	// The replayed segment is the storm cell (last segment) under the
+	// last scheduler in the axis.
+	replaySeg := nSegs - 1
+	replaySched := scheds[len(scheds)-1]
+
+	err = RunIndexed(o.Parallel, nGrid+nReplay, func(ci int) error {
+		if ci < nGrid {
+			ri := ci / (nSegs * len(scheds))
+			si := ci / len(scheds) % nSegs
+			sj := ci % len(scheds)
+			seg := segsPerRT[ri][si]
+			cfg := fleetCellConfig(o, nodes, costs[ri], ri, si, seg, scheds[sj])
+			res, err := fleet.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("fleet: %s/%s/%s: %w", names[ri], scheds[sj].Name(), seg.label, err)
+			}
+			ms := func(t clock.Time) float64 { return float64(t) / float64(clock.Millisecond) }
+			rows[ci] = FleetRow{
+				Runtime: names[ri], Sched: scheds[sj].Name(), Load: seg.label,
+				OfferedPerSec: seg.offered,
+				Arrived:       res.Arrived, Completed: res.Completed, Rejected: res.Rejected,
+				GoodputPerSec: res.Goodput(cfg.Horizon),
+				MeanMs:        ms(res.MeanLatency()),
+				P50Ms:         ms(res.Quantile(0.5)),
+				P99Ms:         ms(res.Quantile(0.99)),
+				P999Ms:        ms(res.Quantile(0.999)),
+				MaxQueue:      res.MaxQueue,
+				Evicted:       res.Evicted,
+				WarmRestores:  res.WarmRestores,
+				ColdRedos:     res.ColdRedos,
+			}
+			return nil
+		}
+		ri := (ci - nGrid) / fleetReplayNodes
+		ni := (ci - nGrid) % fleetReplayNodes
+		seg := segsPerRT[ri][replaySeg]
+		cfg := fleetCellConfig(o, nodes, costs[ri], ri, replaySeg, seg, replaySched)
+		res, err := fleet.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("fleet: replay control %s: %w", names[ri], err)
+		}
+		stat := res.Nodes[ni]
+		reqs := stat.Requests
+		if reqs > fleetReplayMaxReqs {
+			reqs = fleetReplayMaxReqs
+		}
+		w := fleet.NodeWork{
+			Node:       stat.Node,
+			Containers: fleetSlotsPerNode,
+			Requests:   reqs,
+		}
+		if stat.Crashed {
+			w.Crashes = 2
+		}
+		art, err := fleet.ReplayNode(w, specs[ri].kind, specs[ri].opts)
+		if err != nil {
+			return fmt.Errorf("fleet: replay %s node %d: %w", names[ri], stat.Node, err)
+		}
+		arts[ci-nGrid] = *art
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = rows
+	rep.Replay = arts
+	return rep, nil
+}
+
+// WriteFleetJSON writes the report in the exact encoding of the
+// committed BENCH_fleet artifact.
+func WriteFleetJSON(rep *FleetReport, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteFleetTable renders the capacity curves and tails as a table.
+func WriteFleetTable(rep *FleetReport, w io.Writer) error {
+	t := NewTable(
+		fmt.Sprintf("Fleet serving: %d nodes x %d slots, open-loop arrivals", rep.Nodes, rep.SlotsPerNode),
+		"runtime", "sched", "load", "offered/s", "done", "rejected", "goodput/s", "p50", "p99", "p999", "maxQ")
+	for _, r := range rep.Rows {
+		t.Row(r.Runtime, r.Sched, r.Load,
+			fmt.Sprintf("%.0f", r.OfferedPerSec),
+			itoa(r.Completed), itoa(r.Rejected),
+			fmt.Sprintf("%.0f", r.GoodputPerSec),
+			fmt.Sprintf("%.2fms", r.P50Ms),
+			fmt.Sprintf("%.2fms", r.P99Ms),
+			fmt.Sprintf("%.2fms", r.P999Ms),
+			itoa(r.MaxQueue))
+	}
+	t.Note("open-loop Poisson arrivals; goodput saturates at the runtime's boot+service")
+	t.Note("capacity, overload turns into rejections (admission bound), and the storm row")
+	t.Note("evicts a tenth of the nodes mid-run — snapshot-aged containers restore warm")
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	rt := NewTable("Replayed storm nodes (real machines under the warm-restart supervisor)",
+		"runtime", "node", "containers", "requests", "crashes", "warm", "cold", "virtual", "spans")
+	for _, a := range rep.Replay {
+		rt.Row(a.Runtime, itoa(a.Node), itoa(a.Containers), itoa(a.Requests),
+			itoa(a.Crashes), itoa(a.WarmRestores), itoa(a.ColdRestarts),
+			(clock.Time(a.VirtualNs) * clock.Nanosecond).String(), itoa(a.Spans))
+	}
+	_, err := rt.WriteTo(w)
+	return err
+}
+
+// ExtFleet is the table-mode entry point (ckibench -exp fleet).
+func ExtFleet(scale int, w io.Writer) error {
+	rep, err := RunFleet(FleetOpts{Scale: scale, Parallel: DefaultParallel()})
+	if err != nil {
+		return err
+	}
+	return WriteFleetTable(rep, w)
+}
+
+// FleetJSONParallel runs the experiment and writes the committed
+// artifact encoding; the bytes are identical for any parallel value.
+func FleetJSONParallel(o FleetOpts, w io.Writer) error {
+	rep, err := RunFleet(o)
+	if err != nil {
+		return err
+	}
+	return WriteFleetJSON(rep, w)
+}

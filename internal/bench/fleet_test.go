@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFleetParallelIdentical: the committed-artifact contract — the
+// emitted bytes are identical for any -parallel value and across
+// reruns.
+func TestFleetParallelIdentical(t *testing.T) {
+	o := FleetOpts{Scale: 1, Nodes: 4, Sched: "spread", ArrivalRate: 20_000}
+	var seq, par, again bytes.Buffer
+	o.Parallel = 1
+	if err := FleetJSONParallel(o, &seq); err != nil {
+		t.Fatal(err)
+	}
+	o.Parallel = 8
+	if err := FleetJSONParallel(o, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("fleet report differs between -parallel 1 and 8")
+	}
+	if err := FleetJSONParallel(o, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(par.Bytes(), again.Bytes()) {
+		t.Fatalf("fleet report differs across reruns")
+	}
+}
+
+// TestFleetReportShape: the default grid covers every runtime, both
+// schedulers, the whole load axis, an overload segment that rejects,
+// a storm segment that evicts, and a replay digest per storm node.
+func TestFleetReportShape(t *testing.T) {
+	rep, err := RunFleet(FleetOpts{Scale: 1, Parallel: DefaultParallel(), Nodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRT := len(fleetSpecs())
+	nSegs := len(fleetLoadPoints) + 2 // + diurnal + storm
+	if want := nRT * nSegs * 2; len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), want)
+	}
+	if len(rep.Calibration) != nRT {
+		t.Fatalf("got %d calibration rows, want %d", len(rep.Calibration), nRT)
+	}
+	for _, c := range rep.Calibration {
+		if c.Runtime == "" || c.BootNs < 0 || c.ServiceNs <= 0 || c.WarmRestoreNs <= 0 {
+			t.Fatalf("degenerate calibration: %+v", c)
+		}
+	}
+	overloadRejects, stormEvicts := false, false
+	for _, r := range rep.Rows {
+		if r.Arrived < 1000 {
+			t.Fatalf("%s/%s/%s: only %d arrivals", r.Runtime, r.Sched, r.Load, r.Arrived)
+		}
+		if r.P50Ms > r.P99Ms || r.P99Ms > r.P999Ms {
+			t.Fatalf("%s/%s/%s: quantiles not monotone: %+v", r.Runtime, r.Sched, r.Load, r)
+		}
+		if r.Load == "1.30x" && r.Rejected > 0 {
+			overloadRejects = true
+		}
+		if r.Load == "storm" {
+			if r.Evicted == 0 {
+				t.Fatalf("%s/%s: storm evicted nothing", r.Runtime, r.Sched)
+			}
+			// Running instances split warm/cold; displaced queued ones
+			// just re-place, so the split never exceeds the eviction count.
+			if r.WarmRestores+r.ColdRedos > r.Evicted {
+				t.Fatalf("%s/%s: evictions unaccounted: %+v", r.Runtime, r.Sched, r)
+			}
+			stormEvicts = true
+		}
+	}
+	if !overloadRejects {
+		t.Fatalf("no overload segment reported backpressure")
+	}
+	if !stormEvicts {
+		t.Fatalf("no storm segment present")
+	}
+	if want := nRT * fleetReplayNodes; len(rep.Replay) != want {
+		t.Fatalf("got %d replay digests, want %d", len(rep.Replay), want)
+	}
+	for _, a := range rep.Replay {
+		if a.Runtime == "" || a.Requests == 0 || a.Spans == 0 || a.MetricsFNV == 0 {
+			t.Fatalf("degenerate replay digest: %+v", a)
+		}
+	}
+}
+
+// TestFleetTraceFile: a rate trace replaces the capacity curve and the
+// parsed shape drives every cell.
+func TestFleetTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rates.trace")
+	if err := os.WriteFile(path, []byte("# burst then quiet\n40000 50\n5000 50\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunFleet(FleetOpts{Scale: 1, Parallel: DefaultParallel(),
+		Nodes: 4, Sched: "binpack", TraceFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(fleetSpecs()) {
+		t.Fatalf("got %d rows, want one trace row per runtime", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Load != "trace" || r.Sched != "binpack" {
+			t.Fatalf("unexpected row: %+v", r)
+		}
+		if r.Arrived == 0 {
+			t.Fatalf("trace produced no arrivals: %+v", r)
+		}
+	}
+
+	if _, err := RunFleet(FleetOpts{Scale: 1, Parallel: 1, Nodes: 4,
+		TraceFile: filepath.Join(t.TempDir(), "missing.trace")}); err == nil {
+		t.Fatalf("missing trace file accepted")
+	}
+}
+
+// TestFleetBadScheduler: an unknown scheduler fails before any cell
+// runs.
+func TestFleetBadScheduler(t *testing.T) {
+	_, err := RunFleet(FleetOpts{Scale: 1, Parallel: 1, Sched: "random"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFleetTable: the table writer renders every row and the replay
+// digest without error.
+func TestFleetTable(t *testing.T) {
+	rep, err := RunFleet(FleetOpts{Scale: 1, Parallel: DefaultParallel(),
+		Nodes: 4, Sched: "spread", ArrivalRate: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteFleetTable(rep, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fleet serving", "custom", "Replayed storm nodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

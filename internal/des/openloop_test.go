@@ -1,0 +1,259 @@
+package des
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestPoissonDeterminism: the same seed yields the identical arrival
+// sequence; different seeds diverge.
+func TestPoissonDeterminism(t *testing.T) {
+	h := 10 * clock.Millisecond
+	a := PoissonArrivals(42, 100_000, h)
+	b := PoissonArrivals(42, 100_000, h)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different arrival sequences")
+	}
+	c := PoissonArrivals(43, 100_000, h)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical sequences")
+	}
+	if len(a) == 0 {
+		t.Fatalf("no arrivals generated")
+	}
+	for i, ar := range a {
+		if ar.Seq != i {
+			t.Fatalf("arrival %d has Seq %d", i, ar.Seq)
+		}
+		if ar.At < 0 || ar.At >= h {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, ar.At, h)
+		}
+		if i > 0 && ar.At < a[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+}
+
+// TestPoissonRate: the empirical rate lands near the configured rate
+// (law of large numbers, generous tolerance).
+func TestPoissonRate(t *testing.T) {
+	h := 100 * clock.Millisecond
+	rate := 1_000_000.0 // 1M/s -> ~100k arrivals
+	n := float64(len(PoissonArrivals(7, rate, h)))
+	want := rate * h.Seconds()
+	if n < 0.97*want || n > 1.03*want {
+		t.Fatalf("got %v arrivals, want ~%v", n, want)
+	}
+}
+
+// TestDiurnalReproducibility: byte-stable per seed, seed-sensitive,
+// time-ordered, inside the horizon.
+func TestDiurnalReproducibility(t *testing.T) {
+	d := DiurnalTrace{
+		Seed: 99, BaseRate: 200_000, PeakFactor: 3, Periods: 2,
+		BurstProb: 0.01, BurstSize: 8, BurstSpread: 50 * clock.Microsecond,
+		Horizon: 20 * clock.Millisecond,
+	}
+	a := d.Arrivals()
+	b := d.Arrivals()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different diurnal traces")
+	}
+	d2 := d
+	d2.Seed = 100
+	if reflect.DeepEqual(a, d2.Arrivals()) {
+		t.Fatalf("different seeds produced identical diurnal traces")
+	}
+	if len(a) == 0 {
+		t.Fatalf("no arrivals")
+	}
+	for i, ar := range a {
+		if ar.At < 0 || ar.At >= d.Horizon {
+			t.Fatalf("arrival %d at %v outside horizon", i, ar.At)
+		}
+		if i > 0 && ar.At < a[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+		if ar.Seq != i {
+			t.Fatalf("arrival %d has Seq %d", i, ar.Seq)
+		}
+	}
+}
+
+// TestDiurnalPeakSwing: the peak half of the cycle carries measurably
+// more arrivals than the trough half.
+func TestDiurnalPeakSwing(t *testing.T) {
+	d := DiurnalTrace{
+		Seed: 5, BaseRate: 500_000, PeakFactor: 4, Periods: 1,
+		Horizon: 20 * clock.Millisecond,
+	}
+	a := d.Arrivals()
+	// One period: trough at the edges, peak in the middle.
+	mid, edge := 0, 0
+	for _, ar := range a {
+		q := float64(ar.At) / float64(d.Horizon)
+		switch {
+		case q >= 0.25 && q < 0.75:
+			mid++
+		default:
+			edge++
+		}
+	}
+	if mid <= edge*2 {
+		t.Fatalf("no diurnal swing: mid-cycle %d vs edges %d", mid, edge)
+	}
+}
+
+// TestPiecewiseArrivals: segment rates shape the stream, and parsing
+// round-trips the -trace-file format.
+func TestPiecewiseArrivals(t *testing.T) {
+	segs, err := ParseRateTrace(strings.NewReader(`
+# rate_per_sec duration_ms
+1000000 2
+     0  1
+2000000 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	a := PiecewiseArrivals(11, segs)
+	if !reflect.DeepEqual(a, PiecewiseArrivals(11, segs)) {
+		t.Fatalf("same seed, different piecewise streams")
+	}
+	var n1, n0, n2 int
+	for i, ar := range a {
+		if i > 0 && ar.At < a[i-1].At {
+			t.Fatalf("out of order at %d", i)
+		}
+		switch {
+		case ar.At < 2*clock.Millisecond:
+			n1++
+		case ar.At < 3*clock.Millisecond:
+			n0++
+		default:
+			n2++
+		}
+	}
+	if n0 != 0 {
+		t.Fatalf("%d arrivals inside the zero-rate segment", n0)
+	}
+	// Segment 3 runs at twice segment 1's rate for the same duration.
+	if n1 == 0 || float64(n2) < 1.7*float64(n1) || float64(n2) > 2.3*float64(n1) {
+		t.Fatalf("rate shape wrong: %d arrivals at 1M/s vs %d at 2M/s", n1, n2)
+	}
+
+	if _, err := ParseRateTrace(strings.NewReader("bogus line")); err == nil {
+		t.Fatalf("malformed trace accepted")
+	}
+	if _, err := ParseRateTrace(strings.NewReader("# only comments\n")); err == nil {
+		t.Fatalf("empty trace accepted")
+	}
+	if _, err := ParseRateTrace(strings.NewReader("100 -5")); err == nil {
+		t.Fatalf("negative duration accepted")
+	}
+}
+
+// TestOpenLoopConservation pins the conservation law on both an
+// underloaded and an overloaded open loop: every arrival is exactly
+// one of completed, rejected, queued, or in service.
+func TestOpenLoopConservation(t *testing.T) {
+	h := 10 * clock.Millisecond
+	service := func(int) clock.Time { return 8 * clock.Microsecond }
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		// 4 servers at 8µs/req serve 500k/s; drive half and 3x that.
+		{"underload", 250_000},
+		{"overload", 1_500_000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ol := OpenLoop{
+				Servers:    4,
+				QueueLimit: 32,
+				Service:    service,
+				Arrivals:   PoissonArrivals(123, tc.rate, h),
+				Horizon:    h,
+			}
+			res := ol.Run()
+			if res.Arrived == 0 {
+				t.Fatalf("no arrivals")
+			}
+			if got := res.Completed + res.Rejected + res.Queued + res.InService; got != res.Arrived {
+				t.Fatalf("conservation broken: %d arrived != %d accounted (completed %d + rejected %d + queued %d + in-service %d)",
+					res.Arrived, got, res.Completed, res.Rejected, res.Queued, res.InService)
+			}
+			if res.Queued > ol.QueueLimit {
+				t.Fatalf("queue %d exceeded the admission bound %d", res.Queued, ol.QueueLimit)
+			}
+			if res.MaxQueue > ol.QueueLimit {
+				t.Fatalf("high-water queue %d exceeded the admission bound %d", res.MaxQueue, ol.QueueLimit)
+			}
+			if tc.name == "underload" && res.Rejected != 0 {
+				t.Fatalf("underloaded loop rejected %d arrivals", res.Rejected)
+			}
+			if tc.name == "overload" {
+				if res.Rejected == 0 {
+					t.Fatalf("overloaded loop rejected nothing: backpressure missing")
+				}
+				// Goodput saturates at roughly the service capacity.
+				cap := 4.0 / (8e-6)
+				got := float64(res.Completed) / h.Seconds()
+				if got > 1.05*cap {
+					t.Fatalf("completed %v/s exceeds capacity %v/s", got, cap)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenLoopObserverNeutral: attaching the latency observer changes
+// no result (the same zero-cost contract every observer in the
+// simulator honors).
+func TestOpenLoopObserverNeutral(t *testing.T) {
+	h := 5 * clock.Millisecond
+	base := OpenLoop{
+		Servers:    2,
+		QueueLimit: 16,
+		Service:    func(b int) clock.Time { return clock.Time(b) * clock.Microsecond },
+		Arrivals:   PoissonArrivals(77, 400_000, h),
+		Horizon:    h,
+	}
+	plain := base.Run()
+	seen := 0
+	base.Observe = func(clock.Time) { seen++ }
+	observed := base.Run()
+	base.Observe = nil
+	if plain != observed {
+		t.Fatalf("observer changed the result: %+v vs %+v", plain, observed)
+	}
+	if seen != observed.Completed {
+		t.Fatalf("observer saw %d latencies, want %d", seen, observed.Completed)
+	}
+}
+
+// TestOpenLoopUnboundedQueue: with no admission bound, overload piles
+// up in the queue instead of rejecting — the failure mode the bound
+// exists to surface.
+func TestOpenLoopUnboundedQueue(t *testing.T) {
+	h := 5 * clock.Millisecond
+	ol := OpenLoop{
+		Servers:  2,
+		Service:  func(int) clock.Time { return 10 * clock.Microsecond },
+		Arrivals: PoissonArrivals(3, 2_000_000, h),
+		Horizon:  h,
+	}
+	res := ol.Run()
+	if res.Rejected != 0 {
+		t.Fatalf("unbounded queue rejected %d", res.Rejected)
+	}
+	if res.Queued < 100 {
+		t.Fatalf("expected a deep backlog under 10x overload, got %d", res.Queued)
+	}
+}

@@ -1,0 +1,315 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/des"
+)
+
+// testCosts is a hand-picked cost model: 300µs boot, 50µs per request,
+// 60µs warm restore — close to what the calibration pass measures for
+// the virtualized runtimes.
+func testCosts() RuntimeCosts {
+	return RuntimeCosts{
+		Boot:        300 * clock.Microsecond,
+		Service:     50 * clock.Microsecond,
+		WarmRestore: 60 * clock.Microsecond,
+	}
+}
+
+// TestRunDeterminism: the control plane is a pure function of its
+// config — two runs of the same config produce deep-equal results,
+// eviction storm included.
+func TestRunDeterminism(t *testing.T) {
+	h := 20 * clock.Millisecond
+	cfg := Config{
+		Nodes: 8, SlotsPerNode: 2, QueueLimit: 8,
+		Costs: testCosts(), MeanReqs: 4,
+		Arrivals: des.PoissonArrivals(11, 15_000, h),
+		Horizon:  h, Seed: 11, Sched: Spread{},
+		SnapshotAge: 100 * clock.Microsecond,
+		EvictAt:     10 * clock.Millisecond, EvictNodes: 2, DownFor: 2 * clock.Millisecond,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different results:\n%+v\nvs\n%+v", a, b)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 12
+	c, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Latencies, c.Latencies) {
+		t.Fatalf("different seeds produced identical latency streams")
+	}
+}
+
+// TestUnderloadNoRejects: a fleet driven at half capacity completes
+// nearly everything and never pushes back.
+func TestUnderloadNoRejects(t *testing.T) {
+	h := 20 * clock.Millisecond
+	for _, name := range SchedulerNames() {
+		sched, err := SchedulerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Nodes: 8, SlotsPerNode: 2, QueueLimit: 8,
+			Costs: testCosts(), MeanReqs: 4,
+			// Capacity ~= 16 slots / 500µs mean lifetime = 32k/s.
+			Arrivals: des.PoissonArrivals(7, 15_000, h),
+			Horizon:  h, Seed: 7, Sched: sched,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Arrived == 0 || res.Completed == 0 {
+			t.Fatalf("%s: empty run: %+v", name, res)
+		}
+		if res.Rejected != 0 {
+			t.Fatalf("%s: underloaded fleet rejected %d arrivals", name, res.Rejected)
+		}
+		if res.Quantile(0.5) > res.Quantile(0.99) || res.Quantile(0.99) > res.Quantile(0.999) {
+			t.Fatalf("%s: quantiles not monotone: p50 %v p99 %v p999 %v",
+				name, res.Quantile(0.5), res.Quantile(0.99), res.Quantile(0.999))
+		}
+		// Every latency covers at least boot + one request.
+		if min := testCosts().Boot + testCosts().Service; res.Quantile(0.5) < min {
+			t.Fatalf("%s: p50 %v below the physical floor %v", name, res.Quantile(0.5), min)
+		}
+	}
+}
+
+// TestOverloadBackpressure: at ~3x capacity the admission bound turns
+// the excess into rejections instead of unbounded queues, and goodput
+// saturates near capacity.
+func TestOverloadBackpressure(t *testing.T) {
+	h := 20 * clock.Millisecond
+	for _, name := range SchedulerNames() {
+		sched, _ := SchedulerByName(name)
+		res, err := Run(Config{
+			Nodes: 8, SlotsPerNode: 2, QueueLimit: 8,
+			Costs: testCosts(), MeanReqs: 4,
+			Arrivals: des.PoissonArrivals(3, 100_000, h),
+			Horizon:  h, Seed: 3, Sched: sched,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Rejected == 0 {
+			t.Fatalf("%s: overloaded fleet rejected nothing: backpressure missing", name)
+		}
+		if res.MaxQueue > 8 {
+			t.Fatalf("%s: queue depth %d exceeded the admission bound", name, res.MaxQueue)
+		}
+		// 16 slots / 500µs mean lifetime ≈ 32k/s ceiling.
+		if g := res.Goodput(h); g > 1.2*32_000 {
+			t.Fatalf("%s: goodput %v/s exceeds the capacity ceiling", name, g)
+		}
+	}
+}
+
+// TestSchedulerShape: binpack concentrates starts on the low-ID prefix
+// leaving the tail idle; spread spills starts across every node.
+func TestSchedulerShape(t *testing.T) {
+	h := 20 * clock.Millisecond
+	run := func(s Scheduler) *Result {
+		res, err := Run(Config{
+			Nodes: 8, SlotsPerNode: 2, QueueLimit: 8,
+			Costs: testCosts(), MeanReqs: 4,
+			// ~7 concurrent containers against 16 slots: plenty of
+			// spare capacity for placement policy to show.
+			Arrivals: des.PoissonArrivals(21, 14_000, h),
+			Horizon:  h, Seed: 21, Sched: s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bp := run(BinPack{})
+	sp := run(Spread{})
+
+	if last := bp.Nodes[len(bp.Nodes)-1]; last.Starts != 0 {
+		t.Fatalf("binpack used the last node (%d starts) with the prefix unfilled", last.Starts)
+	}
+	if bp.Nodes[0].Starts <= bp.Nodes[len(bp.Nodes)-1].Starts {
+		t.Fatalf("binpack did not concentrate: first %d starts, last %d",
+			bp.Nodes[0].Starts, bp.Nodes[len(bp.Nodes)-1].Starts)
+	}
+	for _, n := range sp.Nodes {
+		if n.Starts == 0 {
+			t.Fatalf("spread left node %d idle: %+v", n.Node, sp.Nodes)
+		}
+	}
+	// Spread's per-node start counts stay within a tight band.
+	lo, hi := sp.Nodes[0].Starts, sp.Nodes[0].Starts
+	for _, n := range sp.Nodes {
+		if n.Starts < lo {
+			lo = n.Starts
+		}
+		if n.Starts > hi {
+			hi = n.Starts
+		}
+	}
+	if hi > 2*lo {
+		t.Fatalf("spread imbalanced: node starts range [%d, %d]", lo, hi)
+	}
+}
+
+// TestEvictionStorm: taking nodes down mid-run displaces their work,
+// snapshot-aged containers come back warm, young ones redo cold, and
+// the books still balance.
+func TestEvictionStorm(t *testing.T) {
+	h := 20 * clock.Millisecond
+	base := Config{
+		Nodes: 4, SlotsPerNode: 2, QueueLimit: 16,
+		Costs: testCosts(), MeanReqs: 4,
+		Arrivals: des.PoissonArrivals(9, 12_000, h),
+		Horizon:  h, Seed: 9, Sched: Spread{},
+		EvictAt: 10 * clock.Millisecond, EvictNodes: 2, DownFor: 2 * clock.Millisecond,
+	}
+
+	warm := base
+	warm.SnapshotAge = 50 * clock.Microsecond
+	wres, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Evicted == 0 {
+		t.Fatalf("eviction storm displaced nothing")
+	}
+	if wres.WarmRestores == 0 {
+		t.Fatalf("no warm restores despite a 50µs snapshot age: %+v", wres)
+	}
+	crashed := 0
+	for _, n := range wres.Nodes {
+		if n.Crashed {
+			crashed++
+			if n.Evicted == 0 {
+				t.Fatalf("crashed node %d evicted nothing", n.Node)
+			}
+		}
+	}
+	if crashed != 2 {
+		t.Fatalf("marked %d nodes crashed, want 2", crashed)
+	}
+
+	cold := base
+	cold.SnapshotAge = clock.Time(1) << 40 // older than any run: nothing qualifies
+	cres, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.WarmRestores != 0 {
+		t.Fatalf("warm restores with an unreachable snapshot age: %+v", cres)
+	}
+	if cres.ColdRedos == 0 {
+		t.Fatalf("no cold redos in the cold configuration: %+v", cres)
+	}
+
+	// The storm never breaks completion accounting: a displaced
+	// container completes at most once (the poisoned event never fires).
+	if wres.Completed > wres.Arrived || cres.Completed > cres.Arrived {
+		t.Fatalf("completions exceed arrivals: warm %+v cold %+v", wres, cres)
+	}
+
+	// And the undisturbed portion of the run is unchanged: an eviction
+	// draws from its own generator, so demands are identical — the
+	// no-eviction run completes at least as much.
+	quiet := base
+	quiet.EvictAt = 0
+	qres, err := Run(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Evicted != 0 || qres.WarmRestores != 0 || qres.ColdRedos != 0 {
+		t.Fatalf("quiet run saw evictions: %+v", qres)
+	}
+	if qres.Completed < wres.Completed {
+		t.Fatalf("eviction increased completions: quiet %d vs storm %d", qres.Completed, wres.Completed)
+	}
+}
+
+// TestFleetScale is the acceptance run: ≥1000 containers over ≥50
+// nodes under both schedulers, with an overload segment where the
+// fleet visibly pushes back.
+func TestFleetScale(t *testing.T) {
+	// Capacity: 200 slots / 700µs mean lifetime ≈ 285k/s. Drive half
+	// that for 10ms, then ~1.75x for 10ms.
+	segs := []des.RateSegment{
+		{RatePerSec: 150_000, Dur: 10 * clock.Millisecond},
+		{RatePerSec: 500_000, Dur: 10 * clock.Millisecond},
+	}
+	h := 20 * clock.Millisecond
+	for _, name := range SchedulerNames() {
+		sched, _ := SchedulerByName(name)
+		res, err := Run(Config{
+			Nodes: 50, SlotsPerNode: 4, QueueLimit: 16,
+			Costs: testCosts(), MeanReqs: 8,
+			Arrivals: des.PiecewiseArrivals(1, segs),
+			Horizon:  h, Seed: 1, Sched: sched,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Arrived < 1000 {
+			t.Fatalf("%s: only %d arrivals, want >= 1000", name, res.Arrived)
+		}
+		if res.Completed < 1000 {
+			t.Fatalf("%s: only %d completions, want >= 1000", name, res.Completed)
+		}
+		if res.Rejected == 0 {
+			t.Fatalf("%s: the overload segment produced no rejections", name)
+		}
+		if len(res.Nodes) != 50 {
+			t.Fatalf("%s: %d node stats, want 50", name, len(res.Nodes))
+		}
+		if res.Quantile(0.999) < res.Quantile(0.99) {
+			t.Fatalf("%s: p999 %v below p99 %v", name, res.Quantile(0.999), res.Quantile(0.99))
+		}
+	}
+}
+
+// TestSchedulerRegistry: the -sched vocabulary resolves and unknown
+// names fail loudly.
+func TestSchedulerRegistry(t *testing.T) {
+	names := SchedulerNames()
+	if !reflect.DeepEqual(names, []string{"binpack", "spread"}) {
+		t.Fatalf("scheduler registry = %v", names)
+	}
+	for _, n := range names {
+		s, err := SchedulerByName(n)
+		if err != nil || s.Name() != n {
+			t.Fatalf("SchedulerByName(%q) = %v, %v", n, s, err)
+		}
+	}
+	if _, err := SchedulerByName("random"); err == nil {
+		t.Fatalf("unknown scheduler accepted")
+	}
+}
+
+// TestConfigValidation: impossible configs error instead of running.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, SlotsPerNode: 1, Costs: testCosts(), Sched: Spread{}},
+		{Nodes: 1, SlotsPerNode: 0, Costs: testCosts(), Sched: Spread{}},
+		{Nodes: 1, SlotsPerNode: 1, Costs: testCosts()},
+		{Nodes: 1, SlotsPerNode: 1, Sched: Spread{}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package fleet is the datacenter layer above "machine": an
+// orchestrator that places thousands of short-lived secure containers
+// across a fleet of simulated nodes on the shared virtual clock,
+// driven by an open-loop heavy-traffic arrival model (internal/des)
+// instead of the closed loop the single-machine experiments use.
+//
+// The control plane is split from the data plane the way a container
+// daemon splits its scheduler from its runtimes: placement, queueing,
+// admission control, and eviction run in one deterministic
+// discrete-event simulation over cheap value-style node states, while
+// per-node machine truth — real guest kernels booting, serving, and
+// warm-restarting under the supervisor — is replayed per node behind
+// the same Node interface. Because every node's machine is a fully
+// isolated simulation, replay shards across host cores (one node per
+// worker) and streams per-node artifacts instead of holding the whole
+// fleet in memory.
+package fleet
+
+import (
+	"repro/internal/clock"
+)
+
+// Pressure is a node's load signal as the scheduler sees it: how many
+// container slots exist, how many are running, how deep the start
+// queue is, and whether the node is down (evicted, draining). The
+// control plane rebuilds this view before every placement, so
+// schedulers act on current — not stale — state.
+type Pressure struct {
+	Node       int
+	Slots      int
+	Running    int
+	Queued     int
+	QueueLimit int
+	Down       bool
+}
+
+// Free reports available container slots.
+func (p Pressure) Free() int { return p.Slots - p.Running }
+
+// Load is the node's total committed work (running + queued).
+func (p Pressure) Load() int { return p.Running + p.Queued }
+
+// Admittable reports whether the node can accept one more container
+// (a free slot, or queue headroom under the admission bound).
+func (p Pressure) Admittable() bool {
+	if p.Down {
+		return false
+	}
+	return p.Running < p.Slots || p.Queued < p.QueueLimit
+}
+
+// Node is the fleet's unit of capacity, implemented both by the
+// control plane's cheap SimNode values and by MachineNode, which wraps
+// a real internal/backends machine for per-node replay.
+type Node interface {
+	ID() int
+	Pressure() Pressure
+}
+
+// instance is one placed container's control-plane state.
+type instance struct {
+	seq int
+	// arrivedAt is the original arrival time; latency is measured from
+	// here even across evictions and restarts.
+	arrivedAt clock.Time
+	// enqueuedAt is when the instance last entered a node queue.
+	enqueuedAt clock.Time
+	// startedAt is when it last began running (boot included).
+	startedAt clock.Time
+	// boot is the start cost to pay (cold boot, or warm restore after
+	// an eviction); demand is the remaining run time after boot.
+	boot   clock.Time
+	demand clock.Time
+	// reqs is the request count backing demand (the replay work list).
+	reqs int
+	node int
+	// gen invalidates the in-flight completion event after an
+	// eviction (the DES heap has no cancellation): the event captures
+	// gen at start and fires only if it still matches.
+	gen int
+	// restarts counts evictions survived.
+	restarts int
+}
+
+// SimNode is the control plane's value-style node: slot and queue
+// accounting only, no machine behind it. It is deliberately cheap —
+// a 50-node fleet is 50 of these, not 50 machines — so the placement
+// DES can run far larger fleets than the replay stage ever boots.
+type SimNode struct {
+	id         int
+	slots      int
+	queueLimit int
+	running    []*instance
+	queue      []*instance
+	down       bool
+
+	// Stats accumulated for the per-node report.
+	Starts   int
+	Requests int
+	Evicted  int
+	MaxQueue int
+	Crashed  bool
+}
+
+// NewSimNode creates a node with the given slot count and admission
+// bound.
+func NewSimNode(id, slots, queueLimit int) *SimNode {
+	return &SimNode{id: id, slots: slots, queueLimit: queueLimit}
+}
+
+// ID implements Node.
+func (n *SimNode) ID() int { return n.id }
+
+// Pressure implements Node.
+func (n *SimNode) Pressure() Pressure {
+	return Pressure{
+		Node:       n.id,
+		Slots:      n.slots,
+		Running:    len(n.running),
+		Queued:     len(n.queue),
+		QueueLimit: n.queueLimit,
+		Down:       n.down,
+	}
+}
+
+// removeRunning drops inst from the running set.
+func (n *SimNode) removeRunning(inst *instance) {
+	for i, r := range n.running {
+		if r == inst {
+			n.running = append(n.running[:i], n.running[i+1:]...)
+			return
+		}
+	}
+}

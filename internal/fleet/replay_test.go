@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/backends"
+)
+
+// TestReplayNode: a node's assignment replays on a real machine —
+// containers boot, requests serve, injected crashes recover through
+// the supervisor's warm-restart path — and the digest is deterministic.
+func TestReplayNode(t *testing.T) {
+	w := NodeWork{Node: 3, Containers: 4, Requests: 40, Crashes: 2}
+	art, err := ReplayNode(w, backends.CKI, backends.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Node != 3 || art.Containers != 4 {
+		t.Fatalf("artifact identity wrong: %+v", art)
+	}
+	if art.Runtime == "" {
+		t.Fatalf("artifact missing runtime name")
+	}
+	// The replay keeps running supervised rounds until the node's full
+	// assignment is served, crashes and backoff included.
+	if art.Requests != w.Requests {
+		t.Fatalf("served %d requests, want %d", art.Requests, w.Requests)
+	}
+	if art.Crashes != 2 {
+		t.Fatalf("injected %d crashes, want 2", art.Crashes)
+	}
+	// SnapshotInterval 1 means every crash has a fresh snapshot to
+	// restore from.
+	if art.WarmRestores == 0 {
+		t.Fatalf("crashes recovered without a warm restore: %+v", art)
+	}
+	if art.VirtualNs <= 0 {
+		t.Fatalf("no virtual time elapsed: %+v", art)
+	}
+	if art.Spans == 0 {
+		t.Fatalf("no spans recorded")
+	}
+	if art.MetricsFNV == 0 {
+		t.Fatalf("empty metrics fingerprint")
+	}
+
+	again, err := ReplayNode(w, backends.CKI, backends.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, again) {
+		t.Fatalf("replay not deterministic:\n%+v\nvs\n%+v", art, again)
+	}
+}
+
+// TestReplayNodeAcrossRuntimes: every runtime replays cleanly and the
+// digests differ (each runtime's machine truth is its own).
+func TestReplayNodeAcrossRuntimes(t *testing.T) {
+	w := NodeWork{Node: 1, Containers: 2, Requests: 8}
+	seen := map[uint64]string{}
+	for _, k := range []backends.Kind{backends.RunC, backends.HVM, backends.PVM, backends.CKI, backends.GVisor} {
+		art, err := ReplayNode(w, k, backends.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if art.Crashes != 0 || art.WarmRestores != 0 {
+			t.Fatalf("%v: uninjected run crashed: %+v", k, art)
+		}
+		if art.Requests != w.Requests {
+			t.Fatalf("%v: served %d, want %d", k, art.Requests, w.Requests)
+		}
+		if prev, dup := seen[art.MetricsFNV]; dup {
+			t.Fatalf("%s and %s share a metrics fingerprint", prev, art.Runtime)
+		}
+		seen[art.MetricsFNV] = art.Runtime
+	}
+}
+
+// TestMachineNodePressure: a machine node exposes the same pressure
+// signal shape the control plane's SimNode does.
+func TestMachineNodePressure(t *testing.T) {
+	n, err := NewMachineNode(NodeWork{Node: 5, Containers: 3}, backends.RunC, backends.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Pressure()
+	if p.Node != 5 || p.Slots != 3 || p.Running != 3 {
+		t.Fatalf("pressure = %+v", p)
+	}
+	if n.ID() != 5 {
+		t.Fatalf("ID() = %d", n.ID())
+	}
+	var asNode Node = n
+	var asSim Node = NewSimNode(5, 3, 8)
+	if asNode.ID() != asSim.ID() {
+		t.Fatalf("interface disagreement")
+	}
+}

@@ -27,6 +27,12 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
+// NodeLabel is the fleet node identity label (1-based node IDs). Every
+// series a fleet node emits carries it, so fleet-wide snapshots fold
+// and split per node; single-machine code never attaches it, keeping
+// pre-fleet metric output byte-identical.
+func NodeLabel(id int) Label { return L("node", IntStr(id)) }
+
 func labelKey(labels []Label) string {
 	var b strings.Builder
 	for _, l := range labels {

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNodeLabel: the fleet node label is a plain label with the
+// interned small-int fast path.
+func TestNodeLabel(t *testing.T) {
+	if got := NodeLabel(7); got != L("node", "7") {
+		t.Fatalf("NodeLabel(7) = %+v", got)
+	}
+	if got := NodeLabel(1234); got != L("node", "1234") {
+		t.Fatalf("NodeLabel(1234) = %+v", got)
+	}
+}
+
+// TestNodeLabelAbsentGolden pins the exact rendered bytes of a
+// registry that never attaches a node label — single-machine metric
+// output is byte-unchanged by the fleet layer.
+func TestNodeLabelAbsentGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("guest_syscalls_total", "Syscalls served.", L("runtime", "cki")).Add(3)
+	var b strings.Builder
+	if err := reg.Snapshot().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "guest_syscalls_total (counter) Syscalls served.\n" +
+		"  runtime=cki                                              3\n"
+	if b.String() != golden {
+		t.Fatalf("render changed without a node label:\n%q\nwant:\n%q", b.String(), golden)
+	}
+	if strings.Contains(b.String(), "node") {
+		t.Fatalf("node label leaked into unlabeled output:\n%s", b.String())
+	}
+}
+
+// TestNodeLabelPresent: a node-labeled series renders the label in key
+// order alongside the runtime label.
+func TestNodeLabelPresent(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("guest_syscalls_total", "Syscalls served.",
+		NodeLabel(4), L("runtime", "cki")).Add(3)
+	var b strings.Builder
+	if err := reg.Snapshot().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "node=4") {
+		t.Fatalf("node label missing:\n%s", b.String())
+	}
+}

@@ -56,9 +56,15 @@ func ChromeTrace(tracks []TrackSet) []byte {
 			if s.Async {
 				cat = "remote"
 			}
-			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s","cat":"%s","args":{"guest_pid":%d}}`,
+			// The node arg appears only for fleet spans, so pre-fleet
+			// traces keep their exact bytes.
+			node := ""
+			if s.Node != 0 {
+				node = fmt.Sprintf(`,"node":%d`, s.Node)
+			}
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s","cat":"%s","args":{"guest_pid":%d%s}}`,
 				pid, s.VCPU, chromeMicros(int64(s.At)), chromeMicros(int64(s.Dur)),
-				chromeEscape(s.Phase), cat, s.PID))
+				chromeEscape(s.Phase), cat, s.PID, node))
 		}
 	}
 	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")

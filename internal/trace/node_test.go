@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// The fleet layer stamps spans with a node identity; everything below
+// it must not change a byte. These goldens pin the exact serialized
+// form with and without the label.
+
+// TestSpanJSONNodeAbsentGolden: a span without a node serializes to
+// exactly the pre-fleet bytes — no "node" key anywhere.
+func TestSpanJSONNodeAbsentGolden(t *testing.T) {
+	spans := []Span{{ID: 0, Parent: -1, Phase: "syscall", At: 5, Dur: 10, VCPU: 1, PID: 2}}
+	got, err := SpansJSON(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `[
+  {
+    "id": 0,
+    "parent": -1,
+    "phase": "syscall",
+    "at": 5,
+    "dur": 10,
+    "vcpu": 1,
+    "pid": 2
+  }
+]`
+	if string(got) != golden {
+		t.Fatalf("span JSON changed without a node label:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestSpanJSONNodePresent: a fleet span carries the node attribute.
+func TestSpanJSONNodePresent(t *testing.T) {
+	spans := []Span{{ID: 0, Parent: -1, Phase: "syscall", At: 5, Dur: 10, VCPU: 1, PID: 2, Node: 7}}
+	got, err := SpansJSON(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), `"node": 7`) {
+		t.Fatalf("fleet span lost its node attribute:\n%s", got)
+	}
+}
+
+// TestChromeTraceNodeGolden: the Chrome export keeps its exact
+// pre-fleet bytes when no node is set, and adds the node arg when one
+// is.
+func TestChromeTraceNodeGolden(t *testing.T) {
+	plain := []Span{{ID: 0, Parent: -1, Phase: "mmap", At: 1_000_000, Dur: 2_000_000, VCPU: 0, PID: 3}}
+	got := string(ChromeTrace([]TrackSet{{Name: "cki", Spans: plain}}))
+	const golden = `{"traceEvents":[
+{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"cki"}},
+{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"vcpu 0"}},
+{"ph":"X","pid":0,"tid":0,"ts":1.000000,"dur":2.000000,"name":"mmap","cat":"flow","args":{"guest_pid":3}}
+],"displayTimeUnit":"ns"}
+`
+	if got != golden {
+		t.Fatalf("chrome trace changed without a node label:\n%s\nwant:\n%s", got, golden)
+	}
+
+	labeled := plain
+	labeled[0].Node = 4
+	got = string(ChromeTrace([]TrackSet{{Name: "cki", Spans: labeled}}))
+	if !strings.Contains(got, `"args":{"guest_pid":3,"node":4}`) {
+		t.Fatalf("fleet chrome trace lost its node arg:\n%s", got)
+	}
+}
+
+// TestRecorderStampsNode: a recorder with a node identity stamps every
+// span it produces, Begin and EmitAt alike; without one, spans stay
+// unlabeled.
+func TestRecorderStampsNode(t *testing.T) {
+	r := NewSpanRecorder(&clock.Clock{})
+	r.End(r.Begin("a"))
+	r.EmitAt("b", 0, 1, 2, -1)
+	for _, s := range r.Spans() {
+		if s.Node != 0 {
+			t.Fatalf("unlabeled recorder produced node %d", s.Node)
+		}
+	}
+
+	r = NewSpanRecorder(&clock.Clock{})
+	r.Node = 9
+	r.End(r.Begin("a"))
+	r.EmitAt("b", 0, 1, 2, -1)
+	for _, s := range r.Spans() {
+		if s.Node != 9 {
+			t.Fatalf("span %q lost the recorder's node: %+v", s.Phase, s)
+		}
+	}
+}

@@ -20,6 +20,10 @@ type Span struct {
 	Dur    clock.Time `json:"dur"`
 	VCPU   int        `json:"vcpu"`
 	PID    int        `json:"pid"`
+	// Node is the fleet node the span ran on, 0 outside the fleet
+	// layer. Omitted when zero, so single-machine span output is
+	// byte-identical to what it was before nodes existed.
+	Node int `json:"node,omitempty"`
 	// Async marks spans that model concurrent activity (a remote
 	// vCPU servicing an IPI) and therefore do not consume initiator
 	// time: folds and sum checks skip them.
@@ -33,9 +37,11 @@ type Span struct {
 type SpanRecorder struct {
 	Clk *clock.Clock
 	// Runtime and Container label every span produced through this
-	// recorder when exported.
+	// recorder when exported. Node, when non-zero, stamps every span
+	// with the fleet node identity (1-based; 0 = not part of a fleet).
 	Runtime   string
 	Container int
+	Node      int
 	// VCPUFn and PIDFn, when set, supply the current vCPU and PID at
 	// Begin time (the guest kernel installs them).
 	VCPUFn func() int
@@ -61,7 +67,7 @@ func (r *SpanRecorder) Begin(phase string) int {
 		parent = r.stack[n-1]
 	}
 	id := len(r.spans)
-	s := Span{ID: id, Parent: parent, Phase: phase, At: r.Clk.Now()}
+	s := Span{ID: id, Parent: parent, Phase: phase, At: r.Clk.Now(), Node: r.Node}
 	if r.VCPUFn != nil {
 		s.VCPU = r.VCPUFn()
 	}
@@ -102,7 +108,7 @@ func (r *SpanRecorder) EmitAt(phase string, at, dur clock.Time, vcpu, parent int
 	id := len(r.spans)
 	r.spans = append(r.spans, Span{
 		ID: id, Parent: parent, Phase: phase, At: at, Dur: dur,
-		VCPU: vcpu, Async: true,
+		VCPU: vcpu, Node: r.Node, Async: true,
 	})
 	return id
 }
