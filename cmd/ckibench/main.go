@@ -61,10 +61,30 @@ import (
 	"io"
 	"os"
 
+	"strings"
+
 	"repro/internal/audit"
 	"repro/internal/bench"
+	"repro/internal/clock"
 	"repro/internal/fleet"
+	"repro/internal/telemetry"
 )
+
+// writeTimeline writes a merged fleet timeline: CKITS1 binary when the
+// path ends in .ckits, JSON export otherwise.
+func writeTimeline(path string, st *telemetry.Store) error {
+	if st == nil {
+		return errors.New("-slo-out: no timeline collected (is -scrape-interval set?)")
+	}
+	if strings.HasSuffix(path, ".ckits") {
+		return os.WriteFile(path, st.EncodeBinary(), 0o644)
+	}
+	b, err := st.Export().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func writeFile(path string, data []byte) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
@@ -126,11 +146,30 @@ type config struct {
 	sched      string
 	arrival    float64
 	traceFile  string
+	scrapeIv   string
+	sloOut     string
+	bundleOut  string
 }
 
-// fleetFlags reports whether any fleet-only flag is set.
+// fleetFlags reports whether any fleet-only flag is set (-nodes is
+// shared with -exp slo and validated separately).
 func (c config) fleetFlags() bool {
-	return c.nodes != 0 || c.sched != "" || c.arrival != 0 || c.traceFile != ""
+	return c.sched != "" || c.arrival != 0 || c.traceFile != ""
+}
+
+// parseScrapeInterval resolves -scrape-interval ("" = unset).
+func (c config) parseScrapeInterval() (clock.Time, error) {
+	if c.scrapeIv == "" {
+		return 0, nil
+	}
+	d, err := clock.ParseTime(c.scrapeIv)
+	if err != nil {
+		return 0, fmt.Errorf("-scrape-interval: %w", err)
+	}
+	if d <= 0 {
+		return 0, errors.New("-scrape-interval must be > 0")
+	}
+	return d, nil
 }
 
 // needProf reports whether any span/metrics artifact flag is set.
@@ -163,10 +202,34 @@ func validate(c config) error {
 		return errors.New("-snap-out/-checkpoint-interval require -exp snapshot")
 	}
 	if c.fleetFlags() && c.exp != "fleet" {
-		return errors.New("-nodes/-sched/-arrival-rate/-trace-file require -exp fleet")
+		return errors.New("-sched/-arrival-rate/-trace-file require -exp fleet")
+	}
+	if c.nodes != 0 && c.exp != "fleet" && c.exp != "slo" {
+		return errors.New("-nodes requires -exp fleet or -exp slo")
 	}
 	if c.nodes < 0 {
 		return errors.New("-nodes must be >= 1")
+	}
+	if c.scrapeIv != "" {
+		if c.exp != "fleet" && c.exp != "slo" {
+			return errors.New("-scrape-interval requires -exp fleet or -exp slo")
+		}
+		if _, err := c.parseScrapeInterval(); err != nil {
+			return err
+		}
+	}
+	switch {
+	case c.sloOut == "":
+	case c.exp == "slo":
+	case c.exp == "fleet":
+		if c.scrapeIv == "" {
+			return errors.New("-slo-out with -exp fleet requires an explicit -scrape-interval (every cell must share one interval for the merged timeline)")
+		}
+	default:
+		return errors.New("-slo-out requires -exp fleet or -exp slo")
+	}
+	if c.bundleOut != "" && c.exp != "slo" {
+		return errors.New("-bundle-out requires -exp slo")
 	}
 	if c.sched != "" {
 		if _, err := fleet.SchedulerByName(c.sched); err != nil {
@@ -179,8 +242,8 @@ func validate(c config) error {
 	if c.arrival != 0 && c.traceFile != "" {
 		return errors.New("-arrival-rate and -trace-file are mutually exclusive")
 	}
-	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" {
-		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, or fleet")
+	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" && c.exp != "slo" {
+		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, fleet, or slo")
 	}
 	return nil
 }
@@ -204,6 +267,9 @@ func main() {
 	flag.StringVar(&cfg.sched, "sched", "", "with -exp fleet: restrict to one scheduler (binpack, spread; default both)")
 	flag.Float64Var(&cfg.arrival, "arrival-rate", 0, "with -exp fleet: replace the capacity curve with one open-loop segment at this rate (arrivals/sec)")
 	flag.StringVar(&cfg.traceFile, "trace-file", "", "with -exp fleet: drive arrivals from a piecewise rate trace file (\"rate_per_sec duration_ms\" lines)")
+	flag.StringVar(&cfg.scrapeIv, "scrape-interval", "", "with -exp fleet/slo: virtual scrape interval (e.g. 250us, 1.5ms; bare numbers are ps)")
+	flag.StringVar(&cfg.sloOut, "slo-out", "", "with -exp slo: write per-runtime CKITS1 timelines under DIR; with -exp fleet -scrape-interval: write the merged timeline to FILE (.ckits = binary, else JSON)")
+	flag.StringVar(&cfg.bundleOut, "bundle-out", "", "with -exp slo: write the postmortem bundles as JSON under DIR")
 	flag.Parse()
 
 	if err := validate(cfg); err != nil {
@@ -224,15 +290,58 @@ func main() {
 		return
 	}
 
+	if cfg.exp == "slo" {
+		interval, _ := cfg.parseScrapeInterval()
+		rep, err := bench.RunSLO(bench.SLOOpts{
+			Scale: cfg.scale, Parallel: cfg.parallel,
+			Nodes: cfg.nodes, ScrapeInterval: interval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: slo: %v\n", err)
+			os.Exit(1)
+		}
+		if cfg.sloOut != "" {
+			if err := bench.WriteSLOTimelines(rep, cfg.sloOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: slo: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if cfg.bundleOut != "" {
+			if err := bench.WriteSLOBundles(rep, cfg.bundleOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: slo: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var werr error
+		if cfg.jsonOut {
+			werr = bench.WriteSLOJSON(rep, os.Stdout)
+		} else {
+			werr = bench.WriteSLOTable(rep, os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: slo: %v\n", werr)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if cfg.exp == "fleet" {
+		interval, _ := cfg.parseScrapeInterval()
 		rep, err := bench.RunFleet(bench.FleetOpts{
 			Scale: cfg.scale, Parallel: cfg.parallel,
 			Nodes: cfg.nodes, Sched: cfg.sched,
 			ArrivalRate: cfg.arrival, TraceFile: cfg.traceFile,
+			ScrapeInterval: interval,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: fleet: %v\n", err)
 			os.Exit(1)
+		}
+		if cfg.sloOut != "" {
+			if err := writeTimeline(cfg.sloOut, rep.Timeline); err != nil {
+				fmt.Fprintf(os.Stderr, "ckibench: fleet: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		var werr error
 		if cfg.jsonOut {

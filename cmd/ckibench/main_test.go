@@ -41,6 +41,13 @@ func TestValidate(t *testing.T) {
 		{"fleet arrival rate", ok(config{exp: "fleet", arrival: 50_000}), false},
 		{"fleet trace file", ok(config{exp: "fleet", traceFile: "rates.trace"}), false},
 		{"fleet everything", ok(config{exp: "fleet", jsonOut: true, nodes: 8, sched: "spread", arrival: 1000, parallel: 8}), false},
+		{"slo json", ok(config{exp: "slo", jsonOut: true}), false},
+		{"slo nodes", ok(config{exp: "slo", nodes: 10}), false},
+		{"slo scrape interval", ok(config{exp: "slo", scrapeIv: "250us"}), false},
+		{"slo scrape interval bare ps", ok(config{exp: "slo", scrapeIv: "2500000"}), false},
+		{"slo outputs", ok(config{exp: "slo", jsonOut: true, sloOut: "tl", bundleOut: "bd"}), false},
+		{"fleet scrape interval", ok(config{exp: "fleet", scrapeIv: "1.5ms"}), false},
+		{"fleet timeline", ok(config{exp: "fleet", scrapeIv: "50us", sloOut: "tl.ckits"}), false},
 
 		{"parallel 0", config{parallel: 0, seeds: 1}, true},
 		{"parallel negative", config{parallel: -2, seeds: 1}, true},
@@ -71,6 +78,14 @@ func TestValidate(t *testing.T) {
 		{"trace-file without fleet", ok(config{traceFile: "rates.trace"}), true},
 		{"trace-file wrong exp", ok(config{exp: "snapshot", traceFile: "rates.trace"}), true},
 		{"arrival-rate with trace-file", ok(config{exp: "fleet", arrival: 1000, traceFile: "rates.trace"}), true},
+		{"scrape-interval wrong exp", ok(config{exp: "smp", jsonOut: true, scrapeIv: "50us"}), true},
+		{"scrape-interval without exp", ok(config{scrapeIv: "50us"}), true},
+		{"scrape-interval unparseable", ok(config{exp: "slo", scrapeIv: "fast"}), true},
+		{"scrape-interval zero", ok(config{exp: "slo", scrapeIv: "0"}), true},
+		{"slo-out wrong exp", ok(config{exp: "chaos", sloOut: "tl"}), true},
+		{"slo-out fleet without interval", ok(config{exp: "fleet", sloOut: "tl.ckits"}), true},
+		{"bundle-out wrong exp", ok(config{exp: "fleet", scrapeIv: "50us", bundleOut: "bd"}), true},
+		{"nodes slo negative", ok(config{exp: "slo", nodes: -1}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -45,32 +45,6 @@ func usagef(format string, args ...interface{}) {
 	os.Exit(2)
 }
 
-// parseAt parses a -at timestamp: a float with an optional ns/us/ms/s
-// suffix; a bare number is virtual picoseconds.
-func parseAt(s string) (clock.Time, error) {
-	mult := clock.Time(1)
-	for _, u := range []struct {
-		suffix string
-		mult   clock.Time
-	}{
-		{"ns", clock.Nanosecond},
-		{"us", clock.Microsecond},
-		{"ms", clock.Millisecond},
-		{"s", clock.Second},
-	} {
-		if strings.HasSuffix(s, u.suffix) {
-			mult = u.mult
-			s = strings.TrimSuffix(s, u.suffix)
-			break
-		}
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad timestamp %q (want e.g. 2500, 120us, 1.5ms)", s)
-	}
-	return clock.Time(v * float64(mult)), nil
-}
-
 func main() {
 	in := flag.String("in", "", "audit log to inspect (required)")
 	diff := flag.String("diff", "", "second log: report the first divergence from -in")
@@ -105,7 +79,7 @@ func main() {
 		}
 		runDiff(log.Events, other.Events, *jsonOut)
 	case *at != "":
-		t, err := parseAt(*at)
+		t, err := clock.ParseTime(*at)
 		if err != nil {
 			usagef("%v", err)
 		}

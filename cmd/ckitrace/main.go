@@ -19,6 +19,12 @@
 //	ckitrace -in smp.spans.json -chrome        # Chrome/Perfetto trace JSON
 //	ckitrace -in smp.spans.json -folded        # flamegraph collapsed stacks
 //	ckitrace -metrics smp.metrics.json         # render a metrics snapshot
+//
+// -since/-until restrict a profile view to the spans starting inside a
+// virtual-time range (e.g. -since 120us -until 1.5ms; bare numbers are
+// picoseconds). They combine with -top, -chrome, and -folded, but not
+// with -breakdown, whose attribution is verified against the report's
+// whole-run totals.
 package main
 
 import (
@@ -77,9 +83,37 @@ func validateFlags() {
 		if nviews > 1 {
 			usage("-breakdown, -top, -chrome and -folded are mutually exclusive")
 		}
+		if (set["since"] || set["until"]) && set["breakdown"] {
+			usage("-since/-until cannot be combined with -breakdown (its attribution is verified against whole-run totals)")
+		}
 	case nviews > 0:
 		usage("-%s requires -in", firstSet(set, views))
+	default:
+		if set["since"] || set["until"] {
+			usage("-since/-until require -in")
+		}
 	}
+}
+
+// parseSpanRange resolves -since/-until into a [since, until] span
+// filter range (until 0 = unbounded), exiting 2 on bad input.
+func parseSpanRange(since, until string) (clock.Time, clock.Time) {
+	var lo, hi clock.Time
+	var err error
+	if since != "" {
+		if lo, err = clock.ParseTime(since); err != nil {
+			usage("-since: %v", err)
+		}
+	}
+	if until != "" {
+		if hi, err = clock.ParseTime(until); err != nil {
+			usage("-until: %v", err)
+		}
+	}
+	if hi != 0 && lo > hi {
+		usage("-since %s is after -until %s", since, until)
+	}
+	return lo, hi
 }
 
 func firstSet(set map[string]bool, names []string) string {
@@ -91,7 +125,7 @@ func firstSet(set map[string]bool, names []string) string {
 	return names[0]
 }
 
-func profileViews(path string, breakdown, chrome, folded bool, top int) {
+func profileViews(path string, breakdown, chrome, folded bool, top int, since, until clock.Time) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
@@ -99,6 +133,11 @@ func profileViews(path string, breakdown, chrome, folded bool, top int) {
 	prof, err := bench.ParseSMPProfile(data)
 	if err != nil {
 		fail("%v", err)
+	}
+	if since > 0 || until > 0 {
+		for i := range prof.Runs {
+			prof.Runs[i].Spans = trace.FilterSpans(prof.Runs[i].Spans, since, until)
+		}
 	}
 	switch {
 	case breakdown:
@@ -149,6 +188,8 @@ func main() {
 	chrome := flag.Bool("chrome", false, "with -in: emit Chrome trace-event JSON")
 	folded := flag.Bool("folded", false, "with -in: emit flamegraph collapsed stacks")
 	metricsIn := flag.String("metrics", "", "render a metrics snapshot JSON written by -metrics-out")
+	since := flag.String("since", "", "with -in: drop spans starting before this virtual time (e.g. 120us, 1.5ms; bare = ps)")
+	until := flag.String("until", "", "with -in: drop spans starting after this virtual time")
 	flag.Parse()
 	validateFlags()
 
@@ -157,7 +198,8 @@ func main() {
 		return
 	}
 	if *in != "" {
-		profileViews(*in, *breakdown, *chrome, *folded, *top)
+		lo, hi := parseSpanRange(*since, *until)
+		profileViews(*in, *breakdown, *chrome, *folded, *top, lo, hi)
 		return
 	}
 

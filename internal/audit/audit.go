@@ -472,6 +472,20 @@ func (r *Recorder) Events() []Event {
 	return append([]Event(nil), r.events...)
 }
 
+// EventsFrom returns a copy of the events recorded at index n and
+// later — the incremental-cursor companion to Events, used by the
+// telemetry flight recorder to poll only what arrived since its last
+// visit.
+func (r *Recorder) EventsFrom(n int) []Event {
+	if r == nil || n >= len(r.events) {
+		return nil
+	}
+	if n < 0 {
+		n = 0
+	}
+	return append([]Event(nil), r.events[n:]...)
+}
+
 // Len reports the number of recorded events.
 func (r *Recorder) Len() int {
 	if r == nil {

@@ -27,6 +27,7 @@ func Extensions() []Experiment {
 		{"smp", "Multi-core scaling & TLB-shootdown latency (SMP engine)", ExtSMP},
 		{"snapshot", "Checkpoint/restore, live migration & warm-restart MTTR", ExtSnapshot},
 		{"fleet", "Datacenter fleet serving: capacity curves & tail latency", ExtFleet},
+		{"slo", "Live telemetry: SLO burn-rate alerts & flight-recorder postmortems", ExtSLO},
 		{"breakdown", "Cycle attribution: per-phase span trees vs measured totals", ExtBreakdown},
 	}
 }

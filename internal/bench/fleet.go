@@ -11,7 +11,9 @@ import (
 	"repro/internal/des"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/snapshot"
+	"repro/internal/telemetry"
 )
 
 // The fleet experiment: datacenter-scale serving. A calibration pass
@@ -101,6 +103,12 @@ type FleetReport struct {
 	Calibration  []FleetCalibration   `json:"calibration"`
 	Rows         []FleetRow           `json:"rows"`
 	Replay       []fleet.NodeArtifact `json:"replay"`
+
+	// Timeline is the merged per-cell time-series store when
+	// FleetOpts.ScrapeInterval was set (ckibench -slo-out); it is not
+	// part of the report JSON, so the committed artifact bytes do not
+	// depend on whether scraping was on.
+	Timeline *telemetry.Store `json:"-"`
 }
 
 // FleetOpts parameterizes the experiment; zero values mean the
@@ -119,6 +127,11 @@ type FleetOpts struct {
 	// piecewise rate trace parsed from the file ("rate_per_sec
 	// duration_ms" lines).
 	TraceFile string
+	// ScrapeInterval, when > 0, attaches a telemetry probe to every
+	// grid cell (series labeled runtime/sched/load) and exposes the
+	// merged timeline via FleetReport.Timeline. Pure observation: the
+	// report rows are byte-identical with or without it.
+	ScrapeInterval clock.Time
 }
 
 // fleetSpecs is the runtime axis: every runtime, sized for many small
@@ -394,6 +407,10 @@ func RunFleet(o FleetOpts) (*FleetReport, error) {
 	nReplay := len(specs) * fleetReplayNodes
 	rows := make([]FleetRow, nGrid)
 	arts := make([]fleet.NodeArtifact, nReplay)
+	var stores []*telemetry.Store
+	if o.ScrapeInterval > 0 {
+		stores = make([]*telemetry.Store, nGrid)
+	}
 	// The replayed segment is the storm cell (last segment) under the
 	// last scheduler in the axis.
 	replaySeg := nSegs - 1
@@ -406,6 +423,15 @@ func RunFleet(o FleetOpts) (*FleetReport, error) {
 			sj := ci % len(scheds)
 			seg := segsPerRT[ri][si]
 			cfg := fleetCellConfig(o, nodes, costs[ri], ri, si, seg, scheds[sj])
+			if o.ScrapeInterval > 0 {
+				store := telemetry.NewStore(o.ScrapeInterval, 0)
+				cfg.Observe = telemetry.NewFleetProbe(metrics.NewRegistry(), store, nil,
+					metrics.L("load", seg.label),
+					metrics.L("runtime", names[ri]),
+					metrics.L("sched", scheds[sj].Name()))
+				cfg.ScrapeEvery = o.ScrapeInterval
+				stores[ci] = store
+			}
 			res, err := fleet.Run(cfg)
 			if err != nil {
 				return fmt.Errorf("fleet: %s/%s/%s: %w", names[ri], scheds[sj].Name(), seg.label, err)
@@ -460,6 +486,15 @@ func RunFleet(o FleetOpts) (*FleetReport, error) {
 	}
 	rep.Rows = rows
 	rep.Replay = arts
+	if o.ScrapeInterval > 0 {
+		// Merging in the fixed sequential cell order reproduces the
+		// series order of a sequential run at any parallelism.
+		merged := telemetry.NewStore(o.ScrapeInterval, 0)
+		for _, st := range stores {
+			merged.Merge(st)
+		}
+		rep.Timeline = merged
+	}
 	return rep, nil
 }
 

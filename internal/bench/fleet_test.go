@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/clock"
 )
 
 // TestFleetParallelIdentical: the committed-artifact contract — the
@@ -30,6 +32,38 @@ func TestFleetParallelIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(par.Bytes(), again.Bytes()) {
 		t.Fatalf("fleet report differs across reruns")
+	}
+}
+
+// TestFleetScrapeLeavesReportUnchanged: attaching a telemetry probe is
+// pure observation — the report bytes are identical with and without
+// -scrape-interval, and the merged timeline actually sampled the run.
+func TestFleetScrapeLeavesReportUnchanged(t *testing.T) {
+	o := FleetOpts{Scale: 1, Parallel: 2, Nodes: 4, Sched: "spread", ArrivalRate: 20_000}
+	plain, err := RunFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.ScrapeInterval = 50 * clock.Microsecond
+	scraped, err := RunFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteFleetJSON(plain, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFleetJSON(scraped, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("scraping changed the fleet report bytes")
+	}
+	if plain.Timeline != nil {
+		t.Fatal("timeline present without -scrape-interval")
+	}
+	if scraped.Timeline == nil || scraped.Timeline.Ticks() == 0 || len(scraped.Timeline.Series()) == 0 {
+		t.Fatalf("scraped timeline empty: %+v", scraped.Timeline)
 	}
 }
 

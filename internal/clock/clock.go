@@ -12,7 +12,11 @@
 // single cycle at 2.4 GHz is ~417 ps) accumulate without rounding drift.
 package clock
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Time is a point in (or duration of) virtual time, in picoseconds.
 type Time int64
@@ -50,6 +54,34 @@ func (t Time) String() string {
 	default:
 		return fmt.Sprintf("%.2fs", t.Seconds())
 	}
+}
+
+// ParseTime parses a human-entered virtual timestamp or duration: a
+// float with an optional ns/us/ms/s suffix; a bare number is
+// picoseconds. It is the shared parser behind ckireplay -at,
+// ckitrace -since/-until, and ckibench -scrape-interval.
+func ParseTime(s string) (Time, error) {
+	mult := Time(1)
+	for _, u := range []struct {
+		suffix string
+		mult   Time
+	}{
+		{"ns", Nanosecond},
+		{"us", Microsecond},
+		{"ms", Millisecond},
+		{"s", Second},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q (want e.g. 2500, 120us, 1.5ms)", s)
+	}
+	return Time(v * float64(mult)), nil
 }
 
 // Clock is a monotonically advancing virtual clock. The zero value is a

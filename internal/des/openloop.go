@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 
 	"repro/internal/clock"
@@ -118,6 +119,9 @@ func PiecewiseArrivals(seed uint64, segs []RateSegment) []Arrival {
 // ParseRateTrace reads a piecewise-constant rate trace, one segment per
 // line as "<rate_per_sec> <duration_ms>"; blank lines and #-comments
 // are skipped. This is the -trace-file format of ckibench -exp fleet.
+// A malformed line — wrong field count, trailing garbage, a
+// non-numeric or non-finite value, a negative rate, or a non-positive
+// duration — is an error naming the offending line.
 func ParseRateTrace(r io.Reader) ([]RateSegment, error) {
 	var segs []RateSegment
 	sc := bufio.NewScanner(r)
@@ -128,9 +132,20 @@ func ParseRateTrace(r io.Reader) ([]RateSegment, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		var rate, durMs float64
-		if _, err := fmt.Sscanf(text, "%g %g", &rate, &durMs); err != nil {
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
 			return nil, fmt.Errorf("des: trace line %d: %q: want \"<rate_per_sec> <duration_ms>\"", line, text)
+		}
+		rate, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("des: trace line %d: bad rate %q", line, fields[0])
+		}
+		durMs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("des: trace line %d: bad duration %q", line, fields[1])
+		}
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || math.IsNaN(durMs) || math.IsInf(durMs, 0) {
+			return nil, fmt.Errorf("des: trace line %d: values must be finite", line)
 		}
 		if rate < 0 || durMs <= 0 {
 			return nil, fmt.Errorf("des: trace line %d: rate must be >= 0 and duration > 0", line)

@@ -159,6 +159,49 @@ func TestPiecewiseArrivals(t *testing.T) {
 	}
 }
 
+// TestParseRateTraceMalformed walks every malformed-input error path:
+// wrong field counts, trailing garbage, non-numeric and non-finite
+// values, zero and negative rates/durations. Each error must name the
+// offending line number.
+func TestParseRateTraceMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"one field", "1000"},
+		{"three fields", "1000 2 3"},
+		{"trailing garbage", "1000 2 # not a comment"},
+		{"non-numeric rate", "fast 2"},
+		{"non-numeric duration", "1000 long"},
+		{"nan rate", "NaN 2"},
+		{"inf rate", "+Inf 2"},
+		{"inf duration", "1000 Inf"},
+		{"negative rate", "-1 2"},
+		{"zero duration", "1000 0"},
+		{"negative duration", "1000 -0.5"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Two valid leading lines pin the reported line number.
+			in := "# header\n500 1\n" + tc.in + "\n"
+			_, err := ParseRateTrace(strings.NewReader(in))
+			if err == nil {
+				t.Fatalf("ParseRateTrace accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), "line 3") {
+				t.Fatalf("error %q does not name line 3", err)
+			}
+		})
+	}
+	// Whitespace-separated valid input still parses (Fields, not Split).
+	segs, err := ParseRateTrace(strings.NewReader("  1000\t2.5  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].RatePerSec != 1000 ||
+		segs[0].Dur != clock.Time(2.5*float64(clock.Millisecond)) {
+		t.Fatalf("tab-separated segment parsed wrong: %+v", segs)
+	}
+}
+
 // TestOpenLoopConservation pins the conservation law on both an
 // underloaded and an overloaded open loop: every arrival is exactly
 // one of completed, rejected, queued, or in service.

@@ -51,6 +51,60 @@ type Config struct {
 	EvictAt    clock.Time
 	EvictNodes int
 	DownFor    clock.Time
+	// Observe, when non-nil, sees control-plane events as they happen
+	// in virtual time; ScrapeEvery, when > 0, additionally invokes
+	// Observe.Scrape with the node pressure view at every multiple of
+	// that interval up to the horizon. Pure observation: attaching an
+	// observer never changes the Result (a test pins this).
+	Observe     Observer
+	ScrapeEvery clock.Time
+}
+
+// EvictOutcome classifies how a displaced container instance re-enters
+// the fleet during an eviction storm.
+type EvictOutcome int
+
+const (
+	// EvictWarm: it was running with a snapshot old enough to restore
+	// from — progress preserved, WarmRestore boot.
+	EvictWarm EvictOutcome = iota
+	// EvictCold: it was running but too young to have a snapshot — all
+	// progress redone from scratch.
+	EvictCold
+	// EvictRequeued: it was still queued, so it just re-enters the
+	// scheduler with nothing lost.
+	EvictRequeued
+)
+
+var evictOutcomeNames = [...]string{"warm", "cold", "requeued"}
+
+func (o EvictOutcome) String() string {
+	if int(o) < len(evictOutcomeNames) {
+		return evictOutcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Observer receives control-plane events as the fleet run executes.
+// Implementations must be pure observers: they run on the fleet's
+// virtual timeline but may not mutate fleet state or advance any
+// clock, so the Result is byte-identical with or without one attached.
+// The Pressure slice passed to Scrape is reused between calls; copy it
+// to retain. (internal/telemetry.FleetProbe is the canonical
+// implementation — fleet deliberately does not import it.)
+type Observer interface {
+	// Arrival: one open-loop arrival entered the system.
+	Arrival(now clock.Time)
+	// Completed: a container on node finished its demand; latency is
+	// arrival to completion.
+	Completed(now clock.Time, node int, latency clock.Time)
+	// Rejected: admission control turned an arrival away.
+	Rejected(now clock.Time)
+	// Evicted: a storm displaced one container instance from node.
+	Evicted(now clock.Time, node int, outcome EvictOutcome)
+	// Scrape: the periodic telemetry sample point (every
+	// Config.ScrapeEvery of virtual time).
+	Scrape(now clock.Time, nodes []Pressure)
 }
 
 // NodeStat is one node's control-plane accounting.
@@ -198,6 +252,9 @@ func Run(cfg Config) (*Result, error) {
 			n.removeRunning(inst)
 			res.Completed++
 			res.Latencies = append(res.Latencies, now-inst.arrivedAt)
+			if cfg.Observe != nil {
+				cfg.Observe.Completed(now, n.id, now-inst.arrivedAt)
+			}
 			if len(n.queue) > 0 {
 				next := n.queue[0]
 				n.queue = n.queue[1:]
@@ -220,6 +277,9 @@ func Run(cfg Config) (*Result, error) {
 		id, ok := cfg.Sched.Place(refreshView())
 		if !ok {
 			res.Rejected++
+			if cfg.Observe != nil {
+				cfg.Observe.Rejected(now)
+			}
 			return
 		}
 		n := nodes[id-1]
@@ -256,6 +316,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.At(a.At, func(now clock.Time) {
 			res.Arrived++
+			if cfg.Observe != nil {
+				cfg.Observe.Arrival(now)
+			}
 			place(inst, now)
 		})
 	}
@@ -288,6 +351,7 @@ func Run(cfg Config) (*Result, error) {
 					inst.restarts++
 					n.Evicted++
 					res.Evicted++
+					outcome := EvictRequeued
 					if i < running {
 						// Was running: decide warm vs cold by snapshot age.
 						elapsed := now - inst.startedAt
@@ -297,6 +361,7 @@ func Run(cfg Config) (*Result, error) {
 						}
 						if elapsed >= cfg.SnapshotAge && cfg.Costs.WarmRestore > 0 {
 							res.WarmRestores++
+							outcome = EvictWarm
 							inst.boot = cfg.Costs.WarmRestore
 							if ran < inst.demand {
 								inst.demand -= ran
@@ -305,10 +370,14 @@ func Run(cfg Config) (*Result, error) {
 							}
 						} else {
 							res.ColdRedos++
+							outcome = EvictCold
 							inst.boot = cfg.Costs.Boot
 							inst.demand = clock.Time(inst.reqs) * cfg.Costs.Service
 						}
 						inst.gen++ // poison the in-flight completion
+					}
+					if cfg.Observe != nil {
+						cfg.Observe.Evicted(now, id, outcome)
 					}
 					place(inst, now)
 				}
@@ -319,6 +388,17 @@ func Run(cfg Config) (*Result, error) {
 				for _, id := range victims {
 					nodes[id-1].down = false
 				}
+			})
+		}
+	}
+
+	// Telemetry scrape points. Scheduled after arrivals and the storm,
+	// so at an equal timestamp a scrape samples the state those events
+	// left behind; the hooks are pure, so this changes nothing measured.
+	if cfg.Observe != nil && cfg.ScrapeEvery > 0 {
+		for t := cfg.ScrapeEvery; t <= cfg.Horizon; t += cfg.ScrapeEvery {
+			s.At(t, func(now clock.Time) {
+				cfg.Observe.Scrape(now, refreshView())
 			})
 		}
 	}

@@ -313,3 +313,115 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// recordingObserver is a pure test observer: it counts every hook.
+type recordingObserver struct {
+	arrivals, completed, rejected int
+	evicted                       map[EvictOutcome]int
+	scrapes                       int
+	lastView                      []Pressure
+}
+
+func (o *recordingObserver) Arrival(clock.Time) { o.arrivals++ }
+func (o *recordingObserver) Completed(_ clock.Time, node int, lat clock.Time) {
+	o.completed++
+}
+func (o *recordingObserver) Rejected(clock.Time) { o.rejected++ }
+func (o *recordingObserver) Evicted(_ clock.Time, _ int, outcome EvictOutcome) {
+	if o.evicted == nil {
+		o.evicted = map[EvictOutcome]int{}
+	}
+	o.evicted[outcome]++
+}
+func (o *recordingObserver) Scrape(_ clock.Time, view []Pressure) {
+	o.scrapes++
+	o.lastView = append(o.lastView[:0], view...)
+}
+
+// TestObserverPurity: attaching an observer (with scrapes) changes the
+// Result not at all, and the hooks see exactly the counts the Result
+// reports.
+func TestObserverPurity(t *testing.T) {
+	h := 20 * clock.Millisecond
+	cfg := Config{
+		Nodes: 8, SlotsPerNode: 2, QueueLimit: 4,
+		Costs: testCosts(), MeanReqs: 4,
+		// Overloaded so rejections happen, storm so evictions happen.
+		Arrivals: des.PoissonArrivals(23, 60_000, h),
+		Horizon:  h, Seed: 23, Sched: Spread{},
+		SnapshotAge: 100 * clock.Microsecond,
+		EvictAt:     10 * clock.Millisecond, EvictNodes: 2, DownFor: 2 * clock.Millisecond,
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &recordingObserver{}
+	cfg.Observe = obs
+	cfg.ScrapeEvery = 100 * clock.Microsecond
+	observed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer changed the result:\n%+v\nvs\n%+v", plain, observed)
+	}
+	if obs.arrivals != observed.Arrived || obs.completed != observed.Completed ||
+		obs.rejected != observed.Rejected {
+		t.Fatalf("hooks saw %d/%d/%d arrivals/completions/rejections, result has %d/%d/%d",
+			obs.arrivals, obs.completed, obs.rejected,
+			observed.Arrived, observed.Completed, observed.Rejected)
+	}
+	warm, cold, requeued := obs.evicted[EvictWarm], obs.evicted[EvictCold], obs.evicted[EvictRequeued]
+	if warm != observed.WarmRestores || cold != observed.ColdRedos ||
+		warm+cold+requeued != observed.Evicted {
+		t.Fatalf("eviction outcomes %d/%d/%d disagree with result %d/%d/%d evicted",
+			warm, cold, requeued, observed.WarmRestores, observed.ColdRedos, observed.Evicted)
+	}
+	// One scrape per interval across the horizon, horizon tick included.
+	if want := int(h / (100 * clock.Microsecond)); obs.scrapes != want {
+		t.Fatalf("%d scrapes, want %d", obs.scrapes, want)
+	}
+	if len(obs.lastView) != cfg.Nodes {
+		t.Fatalf("scrape view covers %d nodes, want %d", len(obs.lastView), cfg.Nodes)
+	}
+}
+
+// TestQuantileBoundaries pins Quantile's ceil-rank index semantics on
+// small and large sample counts — the p999 extraction the fleet tables
+// publish must pick the right order statistic, not round off the end.
+func TestQuantileBoundaries(t *testing.T) {
+	mk := func(n int) *Result {
+		r := &Result{}
+		// Latencies 1, 2, ..., n (given in reverse to exercise the sort).
+		for i := n; i >= 1; i-- {
+			r.Latencies = append(r.Latencies, clock.Time(i))
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		n    int
+		q    float64
+		want clock.Time
+	}{
+		// One sample: every quantile is that sample.
+		{1, 0.5, 1}, {1, 0.99, 1}, {1, 0.999, 1}, {1, 1, 1},
+		// Two samples: the median is the 1st order statistic
+		// (ceil(0.5*2) = 1), the tail quantiles the 2nd.
+		{2, 0.5, 1}, {2, 0.99, 2}, {2, 0.999, 2},
+		{3, 0.5, 2}, {3, 0.999, 3},
+		{5, 0.5, 3}, {5, 0.99, 5},
+		// 1000 samples: p99 = ceil(990), p999 = ceil(999) — distinct
+		// order statistics, not both clamped to the max.
+		{1000, 0.99, 990}, {1000, 0.999, 999}, {1000, 1, 1000},
+		{100, 0.999, 100}, {101, 0.999, 101},
+	} {
+		if got := mk(tc.n).Quantile(tc.q); got != tc.want {
+			t.Errorf("n=%d q=%g: got %d, want %d", tc.n, tc.q, int64(got), int64(tc.want))
+		}
+	}
+	var empty Result
+	if empty.Quantile(0.99) != 0 {
+		t.Errorf("empty result quantile != 0")
+	}
+}

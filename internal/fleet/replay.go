@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/backends"
 	"repro/internal/clock"
 	"repro/internal/guest"
@@ -148,13 +149,51 @@ func NewMachineNode(w NodeWork, kind backends.Kind, opts backends.Options) (*Mac
 	return n, nil
 }
 
+// ReplayHooks are optional observation points on a node replay. All of
+// it follows the zero-cost observer contract: the zero value changes
+// nothing, and the hooks never advance the node's clock, so a hooked
+// replay produces the same NodeArtifact as a plain one (pinned by a
+// test).
+type ReplayHooks struct {
+	// Audit, when non-nil, records the node's machine events (the
+	// recorder is attached to every container, surviving supervisor
+	// restarts).
+	Audit *audit.Recorder
+	// OnRound, when non-nil, runs after every supervised round — the
+	// flight recorder's poll point and the telemetry scrape point for
+	// machine replays.
+	OnRound func(ReplayRound)
+}
+
+// ReplayRound is the state handed to ReplayHooks.OnRound after each
+// supervised round. Everything is live (not a copy): read, don't
+// mutate.
+type ReplayRound struct {
+	// Round is the round index within the current supervise attempt
+	// (it resets when a stalled attempt re-runs).
+	Round    int
+	Clk      *clock.Clock
+	Sup      *backends.Supervisor
+	Recorder *trace.SpanRecorder
+	Audit    *audit.Recorder
+	Metrics  *metrics.Registry
+}
+
 // ReplayNode executes one node's assignment on a real machine and
 // returns its digest. Deterministic: the node is an isolated
 // simulation on its own virtual clock, so the same work yields the
 // same artifact bytes on any host scheduling.
 func ReplayNode(w NodeWork, kind backends.Kind, opts backends.Options) (*NodeArtifact, error) {
+	return ReplayNodeHooked(w, kind, opts, ReplayHooks{})
+}
+
+// ReplayNodeHooked is ReplayNode with observation hooks attached.
+func ReplayNodeHooked(w NodeWork, kind backends.Kind, opts backends.Options, hooks ReplayHooks) (*NodeArtifact, error) {
 	if w.Containers <= 0 {
 		w.Containers = 1
+	}
+	if hooks.Audit != nil {
+		opts.Audit = hooks.Audit
 	}
 	n, err := NewMachineNode(w, kind, opts)
 	if err != nil {
@@ -211,14 +250,29 @@ func ReplayNode(w NodeWork, kind backends.Kind, opts backends.Options) (*NodeArt
 	}
 	// Crashed containers sit out restart backoff, so a round can serve
 	// fewer turns than it has slots; keep running supervised rounds
-	// until the node's full assignment is served.
+	// until the node's full assignment is served. Rounds run one
+	// Supervise call at a time so OnRound fires between them —
+	// Supervise's loop carries no cross-round state beyond what the
+	// supervisor itself holds, so this is step-for-step identical to
+	// one Supervise(rounds) call.
 	for attempt := 0; served < w.Requests || crashed < w.Crashes; attempt++ {
 		if attempt >= 8 {
 			return nil, fmt.Errorf("fleet: node %d replay stalled: served %d/%d, crashed %d/%d",
 				w.Node, served, w.Requests, crashed, w.Crashes)
 		}
-		if err := n.Sup.Supervise(rounds, fn); err != nil {
-			return nil, fmt.Errorf("fleet: node %d replay: %w", w.Node, err)
+		for r := 0; r < rounds; r++ {
+			round := r
+			if err := n.Sup.Supervise(1, func(_ int, c *backends.Container) error {
+				return fn(round, c)
+			}); err != nil {
+				return nil, fmt.Errorf("fleet: node %d replay: %w", w.Node, err)
+			}
+			if hooks.OnRound != nil {
+				hooks.OnRound(ReplayRound{
+					Round: round, Clk: cl.M.Clk, Sup: n.Sup,
+					Recorder: sr, Audit: hooks.Audit, Metrics: reg,
+				})
+			}
 		}
 	}
 

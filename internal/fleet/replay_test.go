@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/backends"
 )
 
@@ -95,5 +96,55 @@ func TestMachineNodePressure(t *testing.T) {
 	var asSim Node = NewSimNode(5, 3, 8)
 	if asNode.ID() != asSim.ID() {
 		t.Fatalf("interface disagreement")
+	}
+}
+
+// TestReplayNodeHooked: hooks are pure — a hooked replay (audit
+// recorder attached, per-round callback) produces the identical
+// NodeArtifact a plain one does, while the hooks see every round and
+// the audit log fills.
+func TestReplayNodeHooked(t *testing.T) {
+	w := NodeWork{Node: 3, Containers: 4, Requests: 40, Crashes: 2}
+	plain, err := ReplayNode(w, backends.CKI, backends.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := audit.NewRecorder(nil)
+	rounds := 0
+	crashesSeen := 0
+	prevCrashes := 0
+	hooked, err := ReplayNodeHooked(w, backends.CKI, backends.Options{}, ReplayHooks{
+		Audit: rec,
+		OnRound: func(r ReplayRound) {
+			rounds++
+			if r.Clk == nil || r.Sup == nil || r.Recorder == nil || r.Metrics == nil {
+				t.Fatalf("round state incomplete: %+v", r)
+			}
+			total := 0
+			for _, h := range r.Sup.Health {
+				total += h.Crashes
+			}
+			if total > prevCrashes {
+				crashesSeen++
+			}
+			prevCrashes = total
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, hooked) {
+		t.Fatalf("hooks changed the artifact:\n%+v\nvs\n%+v", plain, hooked)
+	}
+	if rounds == 0 {
+		t.Fatalf("OnRound never ran")
+	}
+	if rec.Len() == 0 {
+		t.Fatalf("audit recorder attached but empty")
+	}
+	// The per-round crash watch (the watchdog-trip detector the flight
+	// recorder uses) saw both injected panics.
+	if crashesSeen < w.Crashes {
+		t.Fatalf("round hook saw %d crash rounds, want >= %d", crashesSeen, w.Crashes)
 	}
 }

@@ -334,6 +334,57 @@ func (r *Registry) Merge(src *Registry) {
 	}
 }
 
+// SeriesView is a read-only view of one live series handed to Visit
+// callbacks. Exactly one of the value groups is meaningful, selected by
+// Kind: counters expose Counter, gauges Value, histograms the bucket
+// fields. Bounds and Counts alias registry-owned storage — callers must
+// copy before retaining or mutating.
+type SeriesView struct {
+	Name   string
+	Kind   string // "counter" | "gauge" | "histogram"
+	Labels []Label
+
+	Counter uint64  // counter value
+	Value   float64 // gauge value
+
+	Bounds []int64    // histogram bucket upper bounds, ns
+	Counts []uint64   // per-bucket counts (not cumulative)
+	Inf    uint64     // +Inf bucket count
+	Sum    clock.Time // total observed virtual time
+	Count  uint64     // total samples
+}
+
+// Visit walks every series in family creation order, series in
+// registration order within a family. The iteration order is
+// deterministic for a deterministic workload, which is what lets a
+// telemetry scraper assign stable series identities without sorting.
+// Nil-safe: visiting a nil registry is a no-op.
+func (r *Registry) Visit(fn func(SeriesView)) {
+	if r == nil {
+		return
+	}
+	for _, f := range r.families {
+		for _, s := range f.series {
+			v := SeriesView{Name: f.name, Kind: kindNames[f.kind], Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				v.Counter = s.c.Value()
+			case kindGauge:
+				v.Value = s.g.Value()
+			case kindHistogram:
+				if s.h != nil {
+					v.Bounds = s.h.bounds
+					v.Counts = s.h.counts
+					v.Inf = s.h.inf
+					v.Sum = s.h.sum
+					v.Count = s.h.n
+				}
+			}
+			fn(v)
+		}
+	}
+}
+
 // fmtNanos renders picoseconds as a decimal nanosecond literal with
 // three fractional digits, integer math only.
 func fmtNanos(ps int64) string {

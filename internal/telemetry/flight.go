@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// The flight recorder: a bounded ring of the most recent spans and
+// audit records, polled incrementally from the live recorders, that
+// can dump a postmortem bundle — the time-series windows, spans, and
+// audit tail around an instant — the moment an alert fires or the
+// supervisor watchdog declares a container dead. Bounded memory makes
+// it safe to leave attached for a whole fleet run; determinism makes
+// the dumped bundle a committed-artifact candidate.
+
+// FlightRecorder keeps the last SpanDepth spans and EventDepth audit
+// events seen through Poll.
+type FlightRecorder struct {
+	// Node and Runtime label every bundle this recorder dumps.
+	Node    int
+	Runtime string
+
+	SpanDepth  int
+	EventDepth int
+
+	spans   []trace.Span
+	events  []audit.Event
+	spanCur int
+	evCur   int
+}
+
+// Default flight-recorder ring depths.
+const (
+	DefaultSpanDepth  = 4096
+	DefaultEventDepth = 8192
+)
+
+// NewFlightRecorder creates a recorder with the given ring depths
+// (defaults when <= 0).
+func NewFlightRecorder(spanDepth, eventDepth int) *FlightRecorder {
+	if spanDepth <= 0 {
+		spanDepth = DefaultSpanDepth
+	}
+	if eventDepth <= 0 {
+		eventDepth = DefaultEventDepth
+	}
+	return &FlightRecorder{SpanDepth: spanDepth, EventDepth: eventDepth}
+}
+
+func trimSpans(s []trace.Span, depth int) []trace.Span {
+	if len(s) > depth {
+		return append(s[:0], s[len(s)-depth:]...)
+	}
+	return s
+}
+
+func trimEvents(s []audit.Event, depth int) []audit.Event {
+	if len(s) > depth {
+		return append(s[:0], s[len(s)-depth:]...)
+	}
+	return s
+}
+
+// Poll pulls everything recorded since the last Poll into the rings.
+// Either recorder may be nil. Pure observation: the sources are only
+// read, and nothing advances any clock.
+func (f *FlightRecorder) Poll(sr *trace.SpanRecorder, ar *audit.Recorder) {
+	if f == nil {
+		return
+	}
+	if sr != nil {
+		f.spans = append(f.spans, sr.SpansFrom(f.spanCur)...)
+		f.spanCur = sr.Len()
+		f.spans = trimSpans(f.spans, f.SpanDepth)
+	}
+	if ar != nil {
+		f.events = append(f.events, ar.EventsFrom(f.evCur)...)
+		f.evCur = ar.Len()
+		f.events = trimEvents(f.events, f.EventDepth)
+	}
+}
+
+// Spans returns the current span ring contents (oldest first).
+func (f *FlightRecorder) Spans() []trace.Span { return f.spans }
+
+// Events returns the current audit ring contents (oldest first).
+func (f *FlightRecorder) Events() []audit.Event { return f.events }
+
+// BundleEvent is one audit record rendered for a bundle.
+type BundleEvent struct {
+	AtPs   int64  `json:"at_ps"`
+	Kind   string `json:"kind"`
+	VCPU   int    `json:"vcpu"`
+	Detail string `json:"detail"`
+}
+
+// Bundle is a postmortem capture around one instant: why it was
+// taken, the alert (if one triggered it), the time-series windows
+// leading up to it, and the span and audit tails from the rings.
+type Bundle struct {
+	// Reason is "alert" (a burn-rate rule fired) or "watchdog" (the
+	// supervisor declared a container dead).
+	Reason  string `json:"reason"`
+	AtNs    int64  `json:"at_ns"`
+	Node    int    `json:"node,omitempty"`
+	Runtime string `json:"runtime,omitempty"`
+	Alert   *Alert `json:"alert,omitempty"`
+	// Series carries, per stored series, only the windows inside the
+	// bundle's trailing capture range.
+	Series []*Series     `json:"series"`
+	Spans  []trace.Span  `json:"spans"`
+	Events []BundleEvent `json:"events"`
+}
+
+// Dump captures a postmortem bundle at virtual time at: the last
+// radius scrape windows of every series in st (nil st for none), plus
+// the span and audit tails inside that same time range. reason is
+// "alert" or "watchdog"; alert may be nil for watchdog dumps.
+func (f *FlightRecorder) Dump(reason string, at clock.Time, alert *Alert, st *Store, radius int) *Bundle {
+	b := &Bundle{
+		Reason: reason,
+		AtNs:   int64(at / clock.Nanosecond),
+		Alert:  alert,
+		Series: []*Series{},
+	}
+	if f != nil {
+		b.Node = f.Node
+		b.Runtime = f.Runtime
+	}
+	since := clock.Time(0)
+	if st != nil && radius > 0 {
+		if lo := at - clock.Time(radius)*st.Interval; lo > 0 {
+			since = lo
+		}
+	}
+	if st != nil {
+		atNs := int64(at / clock.Nanosecond)
+		sinceNs := int64(since / clock.Nanosecond)
+		for _, s := range st.Series() {
+			cut := &Series{Name: s.Name, Kind: s.Kind, Labels: s.Labels}
+			for i, w := range s.Windows {
+				if w.AtNs < sinceNs || w.AtNs > atNs {
+					continue
+				}
+				if cut.Windows == nil {
+					cut.FirstTick = s.FirstTick + i
+				}
+				cut.Windows = append(cut.Windows, w)
+			}
+			if cut.Windows != nil {
+				b.Series = append(b.Series, cut)
+			}
+		}
+	}
+	if f != nil {
+		// The span filter is the same one behind ckitrace -since/-until.
+		b.Spans = trace.FilterSpans(f.spans, since, at)
+		for _, e := range f.events {
+			if e.At < since || e.At > at {
+				continue
+			}
+			b.Events = append(b.Events, BundleEvent{
+				AtPs: int64(e.At), Kind: e.Kind.String(),
+				VCPU: int(e.VCPU), Detail: e.Detail(),
+			})
+		}
+	}
+	if b.Spans == nil {
+		b.Spans = []trace.Span{}
+	}
+	if b.Events == nil {
+		b.Events = []BundleEvent{}
+	}
+	return b
+}
+
+// JSON renders the bundle as deterministic indented JSON.
+func (b *Bundle) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}

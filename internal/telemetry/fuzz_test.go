@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+)
+
+// FuzzDecodeBinary holds the CKITS1 decoder to the same hostile-input
+// contract as the snapshot and audit parsers: torn, truncated, or
+// forged bytes must produce a *DecodeError — never a panic — and
+// anything the decoder does accept must re-encode byte-identically.
+func FuzzDecodeBinary(f *testing.F) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("reqs_total", "", metrics.L("runtime", "cki"))
+	g := reg.Gauge("running", "")
+	h := reg.Histogram("lat_ns", "", []int64{100, 200})
+	st := NewStore(2*clock.Microsecond, 8)
+	scrapeN(st, reg, 4, func(tick int) {
+		c.Add(3)
+		g.Set(float64(tick))
+		h.Observe(clock.Time(50*(tick+1)) * clock.Nanosecond)
+	})
+	enc := st.EncodeBinary()
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte("CKITS1\x00\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeBinary(data)
+		if err != nil {
+			if _, ok := err.(*DecodeError); !ok {
+				t.Fatalf("error %T is not *DecodeError: %v", err, err)
+			}
+			return
+		}
+		re := dec.EncodeBinary()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input does not re-encode identically (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"repro/internal/clock"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// FleetProbe is the canonical fleet.Observer: it turns control-plane
+// events into registry instruments and, at every scrape point, samples
+// the registry into a Store and steps the SLO engine. The dependency
+// points this way on purpose — fleet never imports telemetry, it only
+// defines the Observer seam.
+
+// FleetLatencyBuckets covers fleet arrival-to-completion latencies
+// (microseconds of boot + service up to storm-inflated queueing), in
+// nanoseconds. metrics.DefaultLatencyBuckets tops out at 65µs — too
+// low for a container lifetime under a storm.
+var FleetLatencyBuckets = []int64{
+	1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17,
+	1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22, 1 << 23, 1 << 24,
+}
+
+// FleetProbe implements fleet.Observer over a registry, a store, and
+// an optional SLO engine. Pure observation end to end: it mutates only
+// its own instruments, so the fleet Result is identical with or
+// without it.
+type FleetProbe struct {
+	Reg    *metrics.Registry
+	Store  *Store
+	Engine *Engine
+
+	arrivals  *metrics.Counter
+	completed *metrics.Counter
+	rejected  *metrics.Counter
+	evicted   [3]*metrics.Counter // indexed by fleet.EvictOutcome
+	evictions *metrics.Counter    // all outcomes, for ratio denominators
+	warm      *metrics.Counter
+	latency   *metrics.Histogram
+	running   *metrics.Gauge
+	queued    *metrics.Gauge
+	downNodes *metrics.Gauge
+	labels    []metrics.Label
+	perNode   map[int][2]*metrics.Gauge
+}
+
+// NewFleetProbe builds a probe whose series all carry the given labels
+// (typically the runtime name). engine may be nil for scrape-only use.
+func NewFleetProbe(reg *metrics.Registry, store *Store, engine *Engine, labels ...metrics.Label) *FleetProbe {
+	p := &FleetProbe{Reg: reg, Store: store, Engine: engine,
+		labels: labels, perNode: map[int][2]*metrics.Gauge{}}
+	p.arrivals = reg.Counter("fleet_arrivals_total", "open-loop arrivals", labels...)
+	p.completed = reg.Counter("fleet_completed_total", "containers completed", labels...)
+	p.rejected = reg.Counter("fleet_rejected_total", "arrivals rejected by admission control", labels...)
+	for _, o := range []fleet.EvictOutcome{fleet.EvictWarm, fleet.EvictCold, fleet.EvictRequeued} {
+		lb := append(append([]metrics.Label(nil), labels...), metrics.L("outcome", o.String()))
+		p.evicted[o] = reg.Counter("fleet_evicted_total", "storm-displaced container instances", lb...)
+	}
+	// The outcome-free aggregates exist so ratio SLOs (numerator and
+	// denominator with identical labels) can target evictions.
+	p.evictions = reg.Counter("fleet_evictions_total", "storm-displaced container instances (all outcomes)", labels...)
+	p.warm = reg.Counter("fleet_warm_restores_total", "displaced instances restored warm from a snapshot", labels...)
+	p.latency = reg.Histogram("fleet_latency_ns", "arrival-to-completion latency", FleetLatencyBuckets, labels...)
+	p.running = reg.Gauge("fleet_running", "containers running fleet-wide", labels...)
+	p.queued = reg.Gauge("fleet_queued", "containers queued fleet-wide", labels...)
+	p.downNodes = reg.Gauge("fleet_down_nodes", "nodes currently down", labels...)
+	return p
+}
+
+// Arrival implements fleet.Observer.
+func (p *FleetProbe) Arrival(now clock.Time) { p.arrivals.Inc() }
+
+// Completed implements fleet.Observer.
+func (p *FleetProbe) Completed(now clock.Time, node int, latency clock.Time) {
+	p.completed.Inc()
+	p.latency.Observe(latency)
+}
+
+// Rejected implements fleet.Observer.
+func (p *FleetProbe) Rejected(now clock.Time) { p.rejected.Inc() }
+
+// Evicted implements fleet.Observer.
+func (p *FleetProbe) Evicted(now clock.Time, node int, outcome fleet.EvictOutcome) {
+	if int(outcome) < len(p.evicted) {
+		p.evicted[outcome].Inc()
+	}
+	p.evictions.Inc()
+	if outcome == fleet.EvictWarm {
+		p.warm.Inc()
+	}
+}
+
+// Scrape implements fleet.Observer: refresh the pressure gauges, then
+// sample the registry into the store and step the SLO engine.
+func (p *FleetProbe) Scrape(now clock.Time, nodes []fleet.Pressure) {
+	var running, queued, down int
+	for _, n := range nodes {
+		running += n.Running
+		queued += n.Queued
+		if n.Down {
+			down++
+		}
+		g, ok := p.perNode[n.Node]
+		if !ok {
+			lb := append(append([]metrics.Label(nil), p.labels...), metrics.NodeLabel(n.Node))
+			g = [2]*metrics.Gauge{
+				p.Reg.Gauge("fleet_node_running", "containers running on node", lb...),
+				p.Reg.Gauge("fleet_node_queued", "containers queued on node", lb...),
+			}
+			p.perNode[n.Node] = g
+		}
+		g[0].Set(float64(n.Running))
+		g[1].Set(float64(n.Queued))
+	}
+	p.running.Set(float64(running))
+	p.queued.Set(float64(queued))
+	p.downNodes.Set(float64(down))
+	if p.Store != nil {
+		p.Store.Scrape(p.Reg, now)
+		if p.Engine != nil {
+			p.Engine.Step(p.Store, now)
+		}
+	}
+}
+
+var _ fleet.Observer = (*FleetProbe)(nil)

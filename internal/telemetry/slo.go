@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// SLO specs and the burn-rate alert engine.
+//
+// Each spec names a service-level indicator derived from one stored
+// series per scrape window — a windowed histogram quantile, a ratio of
+// two counter deltas, a raw counter delta, or a gauge value — and a
+// threshold that classifies the window good or bad. The error budget
+// is the fraction of windows allowed to be bad; the burn rate over a
+// trailing span of windows is (bad fraction) / budget, so burn 1.0
+// spends budget exactly at the sustainable rate and burn 10 spends a
+// month of budget in three days. A rule fires when BOTH its long and
+// short trailing windows burn at or above the rule's threshold (the
+// multi-window guard against one-sample pages) and resolves when the
+// short window drops back below it.
+
+// BurnRule is one multi-window burn-rate alert rule.
+type BurnRule struct {
+	// Severity names the alert class ("page", "ticket").
+	Severity string `json:"severity"`
+	// Long and Short are trailing window counts; Burn is the rate
+	// threshold both must reach to fire.
+	Long  int     `json:"long"`
+	Short int     `json:"short"`
+	Burn  float64 `json:"burn"`
+}
+
+// SLOSpec declares one service-level objective over a stored series.
+type SLOSpec struct {
+	// Name identifies the SLO in alerts and reports.
+	Name string `json:"name"`
+	// Metric is the SLI source series name; Labels (optional) selects
+	// among several series with that name (subset match).
+	Metric string            `json:"metric"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Quantile, for histogram SLIs, picks the windowed quantile:
+	// 0.5 or 0.99. Zero means "not a quantile SLI".
+	Quantile float64 `json:"quantile,omitempty"`
+	// TotalMetric, when set, makes the SLI a ratio of counter deltas:
+	// delta(Metric) / delta(TotalMetric), with the denominator series
+	// carrying exactly the numerator's labels. A zero-traffic window
+	// is good.
+	TotalMetric string `json:"total_metric,omitempty"`
+	// Threshold classifies a window bad when the SLI exceeds it
+	// (or falls below it with Invert, for "at least this good"
+	// objectives like a warm-restore ratio).
+	Threshold float64 `json:"threshold"`
+	Invert    bool    `json:"invert,omitempty"`
+	// Budget is the error budget: the allowed bad-window fraction.
+	Budget float64 `json:"budget"`
+	// Rules are the burn-rate alert rules, evaluated in order.
+	Rules []BurnRule `json:"rules"`
+	// Curve records this spec's per-tick burn rates (first matching
+	// series, first rule) for burn-rate curve artifacts.
+	Curve bool `json:"curve,omitempty"`
+}
+
+// Alert is one burn-rate alert event. ResolvedAtNs is 0 while firing.
+type Alert struct {
+	SLO          string            `json:"slo"`
+	Severity     string            `json:"severity"`
+	Labels       map[string]string `json:"labels,omitempty"`
+	FiredAtNs    int64             `json:"fired_at_ns"`
+	ResolvedAtNs int64             `json:"resolved_at_ns,omitempty"`
+	// ShortBurn and LongBurn are the burn rates at fire time.
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+}
+
+// BurnPoint is one tick of a recorded burn-rate curve.
+type BurnPoint struct {
+	AtNs  int64   `json:"at_ns"`
+	Short float64 `json:"short"`
+	Long  float64 `json:"long"`
+}
+
+// sliState is the engine's per-(spec, series) record.
+type sliState struct {
+	hist []bool         // trailing violation ring, newest last
+	open map[int]*Alert // rule index → firing alert
+}
+
+// Engine evaluates SLO specs against a store, one scrape at a time.
+// Iteration order — specs in declaration order, series in store order,
+// rules in declaration order — is fixed, so the alert list is
+// deterministic.
+type Engine struct {
+	Specs []SLOSpec
+	// OnAlert, when non-nil, runs the moment an alert fires (not when
+	// it resolves) — the flight-recorder dump trigger.
+	OnAlert func(*Alert)
+
+	alerts  []*Alert
+	curves  map[string][]BurnPoint
+	state   map[string]*sliState
+	maxLong map[int]int
+}
+
+// NewEngine validates the specs and builds an engine.
+func NewEngine(specs []SLOSpec) (*Engine, error) {
+	e := &Engine{
+		Specs:   specs,
+		curves:  map[string][]BurnPoint{},
+		state:   map[string]*sliState{},
+		maxLong: map[int]int{},
+	}
+	for i, sp := range specs {
+		if sp.Metric == "" {
+			return nil, fmt.Errorf("telemetry: SLO %q: no metric", sp.Name)
+		}
+		if sp.Quantile != 0 && sp.Quantile != 0.5 && sp.Quantile != 0.99 {
+			return nil, fmt.Errorf("telemetry: SLO %q: quantile %g not scraped (want 0.5 or 0.99)", sp.Name, sp.Quantile)
+		}
+		if sp.Budget <= 0 || sp.Budget > 1 {
+			return nil, fmt.Errorf("telemetry: SLO %q: budget %g outside (0, 1]", sp.Name, sp.Budget)
+		}
+		if len(sp.Rules) == 0 {
+			return nil, fmt.Errorf("telemetry: SLO %q: no burn rules", sp.Name)
+		}
+		for _, r := range sp.Rules {
+			if r.Short <= 0 || r.Long < r.Short || r.Burn <= 0 {
+				return nil, fmt.Errorf("telemetry: SLO %q: bad rule %+v (want 0 < short <= long, burn > 0)", sp.Name, r)
+			}
+			if r.Long > e.maxLong[i] {
+				e.maxLong[i] = r.Long
+			}
+		}
+	}
+	return e, nil
+}
+
+// sli computes the spec's indicator for series s at tick; ok=false
+// means the window carries no signal (no traffic) and counts as good.
+func (sp *SLOSpec) sli(st *Store, s *Series, tick int) (float64, bool) {
+	w := s.At(tick)
+	if w == nil {
+		return 0, false
+	}
+	switch {
+	case sp.Quantile == 0.5:
+		if w.Count == 0 {
+			return 0, false
+		}
+		return w.P50Ns, true
+	case sp.Quantile == 0.99:
+		if w.Count == 0 {
+			return 0, false
+		}
+		return w.P99Ns, true
+	case sp.TotalMetric != "":
+		den := st.Lookup(sp.TotalMetric, s.Labels)
+		if den == nil {
+			return 0, false
+		}
+		dw := den.At(tick)
+		if dw == nil || dw.Delta <= 0 {
+			return 0, false
+		}
+		return w.Delta / dw.Delta, true
+	case s.Kind == "gauge":
+		return w.Value, true
+	default:
+		return w.Delta, true
+	}
+}
+
+// burn computes the burn rate over the trailing n windows of hist.
+func burn(hist []bool, n int, budget float64) float64 {
+	if n > len(hist) {
+		n = len(hist)
+	}
+	if n == 0 {
+		return 0
+	}
+	bad := 0
+	for _, v := range hist[len(hist)-n:] {
+		if v {
+			bad++
+		}
+	}
+	return float64(bad) / float64(n) / budget
+}
+
+// Step evaluates every spec against the store's most recent scrape.
+// Call it once after each Store.Scrape, with the same timestamp.
+func (e *Engine) Step(st *Store, now clock.Time) {
+	if st.ticks == 0 {
+		return
+	}
+	tick := st.ticks - 1
+	atNs := int64(now / clock.Nanosecond)
+	for i := range e.Specs {
+		sp := &e.Specs[i]
+		first := true
+		for _, s := range st.series {
+			if s.Name != sp.Metric || !labelsMatch(s.Labels, sp.Labels) {
+				continue
+			}
+			key := fmt.Sprintf("%d|%s", i, s.key)
+			ss, ok := e.state[key]
+			if !ok {
+				ss = &sliState{open: map[int]*Alert{}}
+				e.state[key] = ss
+			}
+			val, hasSignal := sp.sli(st, s, tick)
+			violated := false
+			if hasSignal {
+				if sp.Invert {
+					violated = val < sp.Threshold
+				} else {
+					violated = val > sp.Threshold
+				}
+			}
+			ss.hist = append(ss.hist, violated)
+			if max := e.maxLong[i]; len(ss.hist) > max {
+				ss.hist = append(ss.hist[:0], ss.hist[len(ss.hist)-max:]...)
+			}
+			for j, rule := range sp.Rules {
+				short := burn(ss.hist, rule.Short, sp.Budget)
+				long := burn(ss.hist, rule.Long, sp.Budget)
+				if first && sp.Curve && j == 0 {
+					e.curves[sp.Name] = append(e.curves[sp.Name],
+						BurnPoint{AtNs: atNs, Short: short, Long: long})
+				}
+				open := ss.open[j]
+				switch {
+				case open == nil && short >= rule.Burn && long >= rule.Burn:
+					a := &Alert{
+						SLO: sp.Name, Severity: rule.Severity, Labels: s.Labels,
+						FiredAtNs: atNs, ShortBurn: short, LongBurn: long,
+					}
+					ss.open[j] = a
+					e.alerts = append(e.alerts, a)
+					if e.OnAlert != nil {
+						e.OnAlert(a)
+					}
+				case open != nil && short < rule.Burn:
+					open.ResolvedAtNs = atNs
+					delete(ss.open, j)
+				}
+			}
+			first = false
+		}
+	}
+}
+
+// Alerts returns every alert in fire order (live pointers: resolved
+// stamps appear as the engine advances).
+func (e *Engine) Alerts() []*Alert {
+	return e.alerts
+}
+
+// Curves returns the recorded burn-rate curves, keyed by SLO name.
+func (e *Engine) Curves() map[string][]BurnPoint {
+	return e.curves
+}

@@ -121,6 +121,19 @@ func (r *SpanRecorder) Spans() []Span {
 	return append([]Span(nil), r.spans...)
 }
 
+// SpansFrom returns a copy of the spans recorded at index n and later.
+// Telemetry pollers use it as an incremental cursor: remember Len(),
+// then fetch only what arrived since.
+func (r *SpanRecorder) SpansFrom(n int) []Span {
+	if r == nil || n >= len(r.spans) {
+		return nil
+	}
+	if n < 0 {
+		n = 0
+	}
+	return append([]Span(nil), r.spans[n:]...)
+}
+
 // Len reports the number of recorded spans.
 func (r *SpanRecorder) Len() int {
 	if r == nil {
@@ -176,6 +189,23 @@ func RootsIn(spans []Span, lo, hi clock.Time) []Span {
 		if s.Parent == -1 && !s.Async && s.At >= lo && s.At+s.Dur <= hi {
 			out = append(out, s)
 		}
+	}
+	return out
+}
+
+// FilterSpans returns the spans whose start time falls in
+// [since, until]; until == 0 means unbounded above. Order is preserved.
+// It backs ckitrace -since/-until and the flight-recorder dump path.
+func FilterSpans(spans []Span, since, until clock.Time) []Span {
+	out := make([]Span, 0, len(spans))
+	for _, s := range spans {
+		if s.At < since {
+			continue
+		}
+		if until != 0 && s.At > until {
+			continue
+		}
+		out = append(out, s)
 	}
 	return out
 }
