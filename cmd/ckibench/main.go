@@ -51,6 +51,16 @@
 //	ckibench -exp fleet -nodes 8 -sched spread       # smaller fleet, one scheduler
 //	ckibench -exp fleet -arrival-rate 50000          # one segment at 50k arrivals/s
 //	ckibench -exp fleet -trace-file diurnal.trace    # piecewise rate trace
+//
+// The tail experiment traces every request's lifecycle through the
+// eviction-storm scenario and attributes tail latency to exact causal
+// components (queue, boot, warm restore, service, storm redo — they
+// sum to the end-to-end latency, picosecond-exact), with bucket
+// exemplars and top-K waterfalls. It emits the BENCH_tail artifact;
+// ckitrace -tail renders any request's waterfall from it:
+//
+//	ckibench -exp tail -json > BENCH_tail.json
+//	ckibench -exp tail -nodes 8                      # smaller fleet
 package main
 
 import (
@@ -204,8 +214,8 @@ func validate(c config) error {
 	if c.fleetFlags() && c.exp != "fleet" {
 		return errors.New("-sched/-arrival-rate/-trace-file require -exp fleet")
 	}
-	if c.nodes != 0 && c.exp != "fleet" && c.exp != "slo" {
-		return errors.New("-nodes requires -exp fleet or -exp slo")
+	if c.nodes != 0 && c.exp != "fleet" && c.exp != "slo" && c.exp != "tail" {
+		return errors.New("-nodes requires -exp fleet, slo, or tail")
 	}
 	if c.nodes < 0 {
 		return errors.New("-nodes must be >= 1")
@@ -242,8 +252,8 @@ func validate(c config) error {
 	if c.arrival != 0 && c.traceFile != "" {
 		return errors.New("-arrival-rate and -trace-file are mutually exclusive")
 	}
-	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" && c.exp != "slo" {
-		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, fleet, or slo")
+	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" && c.exp != "slo" && c.exp != "tail" {
+		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, fleet, slo, or tail")
 	}
 	return nil
 }
@@ -263,7 +273,7 @@ func main() {
 	flag.IntVar(&cfg.seeds, "seeds", 1, "with -exp chaos -json: sweep this many derived seeds")
 	flag.StringVar(&cfg.snapOut, "snap-out", "", "with -exp snapshot: write the CKI cell's CKISNAP1 checkpoint image to FILE")
 	flag.IntVar(&cfg.interval, "checkpoint-interval", 1, "with -exp snapshot: supervised rounds between periodic checkpoints in the warm-restart comparison")
-	flag.IntVar(&cfg.nodes, "nodes", 0, "with -exp fleet: simulated node count (default 50)")
+	flag.IntVar(&cfg.nodes, "nodes", 0, "with -exp fleet/slo/tail: simulated node count")
 	flag.StringVar(&cfg.sched, "sched", "", "with -exp fleet: restrict to one scheduler (binpack, spread; default both)")
 	flag.Float64Var(&cfg.arrival, "arrival-rate", 0, "with -exp fleet: replace the capacity curve with one open-loop segment at this rate (arrivals/sec)")
 	flag.StringVar(&cfg.traceFile, "trace-file", "", "with -exp fleet: drive arrivals from a piecewise rate trace file (\"rate_per_sec duration_ms\" lines)")
@@ -320,6 +330,27 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: slo: %v\n", werr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if cfg.exp == "tail" {
+		rep, err := bench.RunTail(bench.TailOpts{
+			Scale: cfg.scale, Parallel: cfg.parallel, Nodes: cfg.nodes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: tail: %v\n", err)
+			os.Exit(1)
+		}
+		var werr error
+		if cfg.jsonOut {
+			werr = bench.WriteTailJSON(rep, os.Stdout)
+		} else {
+			werr = bench.WriteTailTable(rep, os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: tail: %v\n", werr)
 			os.Exit(1)
 		}
 		return

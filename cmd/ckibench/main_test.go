@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // TestValidate covers every usage-error rule: flag combinations that
 // used to be silently ignored must now be rejected (exit 2 in main).
@@ -48,6 +54,9 @@ func TestValidate(t *testing.T) {
 		{"slo outputs", ok(config{exp: "slo", jsonOut: true, sloOut: "tl", bundleOut: "bd"}), false},
 		{"fleet scrape interval", ok(config{exp: "fleet", scrapeIv: "1.5ms"}), false},
 		{"fleet timeline", ok(config{exp: "fleet", scrapeIv: "50us", sloOut: "tl.ckits"}), false},
+		{"tail json", ok(config{exp: "tail", jsonOut: true}), false},
+		{"tail nodes", ok(config{exp: "tail", nodes: 8}), false},
+		{"tail parallel", ok(config{exp: "tail", jsonOut: true, parallel: 8}), false},
 
 		{"parallel 0", config{parallel: 0, seeds: 1}, true},
 		{"parallel negative", config{parallel: -2, seeds: 1}, true},
@@ -86,12 +95,78 @@ func TestValidate(t *testing.T) {
 		{"slo-out fleet without interval", ok(config{exp: "fleet", sloOut: "tl.ckits"}), true},
 		{"bundle-out wrong exp", ok(config{exp: "fleet", scrapeIv: "50us", bundleOut: "bd"}), true},
 		{"nodes slo negative", ok(config{exp: "slo", nodes: -1}), true},
+		{"tail with sched", ok(config{exp: "tail", sched: "spread"}), true},
+		{"tail with arrival-rate", ok(config{exp: "tail", arrival: 1000}), true},
+		{"tail with trace-file", ok(config{exp: "tail", traceFile: "rates.trace"}), true},
+		{"tail with scrape-interval", ok(config{exp: "tail", scrapeIv: "50us"}), true},
+		{"tail with slo-out", ok(config{exp: "tail", sloOut: "tl"}), true},
+		{"tail with snap-out", ok(config{exp: "tail", snapOut: "cki.snap"}), true},
+		{"tail nodes negative", ok(config{exp: "tail", nodes: -1}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			err := validate(tc.cfg)
 			if (err != nil) != tc.wantErr {
 				t.Errorf("validate(%+v) = %v, wantErr=%v", tc.cfg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+var binPath string
+
+// TestMain builds the real binary once: exit codes are asserted
+// against it directly, because `go run` collapses every failure to
+// exit 1 and would mask usage errors (2) as runtime errors (1).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ckibench-bin")
+	if err != nil {
+		panic(err)
+	}
+	binPath = filepath.Join(dir, "ckibench")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		panic("go build: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestExitCodes pins the exit-code contract against the built binary:
+// 2 for usage errors (validate failures, unknown experiments), 0 for
+// the cheap informational modes.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"list", []string{"-list"}, 0, "tail"},
+		{"unknown exp", []string{"-exp", "warpdrive"}, 2, "unknown experiment"},
+		{"parallel zero", []string{"-parallel", "0", "-list"}, 2, "-parallel must be"},
+		{"tail with sched", []string{"-exp", "tail", "-sched", "spread"}, 2, "require -exp fleet"},
+		{"tail with scrape-interval", []string{"-exp", "tail", "-scrape-interval", "50us"}, 2, "-scrape-interval requires"},
+		{"nodes wrong exp", []string{"-exp", "smp", "-nodes", "4"}, 2, "-nodes requires"},
+		{"json wrong exp", []string{"-exp", "ext-pku", "-json"}, 2, "-json is only supported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(binPath, tc.args...).CombinedOutput()
+			code := 0
+			if err != nil {
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("ckibench %v: %v", tc.args, err)
+				}
+				code = ee.ExitCode()
+			}
+			if code != tc.code {
+				t.Fatalf("exit = %d, want %d; output:\n%s", code, tc.code, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
 			}
 		})
 	}

@@ -10,14 +10,18 @@
 //	ckimon -in fleet.timeline.json -series fleet_rejected_total
 //	ckimon -in run.ckits -tail 40            # last 40 windows per series
 //	ckimon -bundle slo_bundle_RunC_0_alert.json
+//	ckimon -attr BENCH_tail.json             # tail-latency attribution report
 //
-// Exactly one of -slo, -in, -bundle must be given; -series and -tail
-// refine -in only.
+// Exactly one of -slo, -in, -bundle, -attr must be given; -series and
+// -tail refine -in only. (-tail is the window count; the tail-latency
+// report is -attr, whose per-request waterfalls ckitrace -tail
+// renders.)
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -191,28 +195,81 @@ func renderReport(path string) {
 	}
 }
 
-func main() {
-	slo := flag.String("slo", "", "render a BENCH_slo report (ckibench -exp slo -json)")
-	in := flag.String("in", "", "render a timeline: CKITS1 binary or export JSON (ckibench -slo-out)")
-	bundle := flag.String("bundle", "", "render a flight-recorder postmortem bundle (ckibench -bundle-out)")
-	series := flag.String("series", "", "with -in: show only this series name")
-	tail := flag.Int("tail", 20, "with -in: show at most the last N windows per series (0 = all)")
-	flag.Parse()
+// renderAttr renders a BENCH_tail report: the per-runtime attribution
+// summary plus a quantile-attribution table naming the exact request
+// paying each tail quantile.
+func renderAttr(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep := &bench.TailReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		fail("%s: not a BENCH_tail report: %v", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		fail("%s: report has no rows", path)
+	}
+	if err := bench.WriteTailTable(rep, os.Stdout); err != nil {
+		fail("%v", err)
+	}
+	pct := func(part, total int64) string {
+		if total == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(total))
+	}
+	for _, r := range rep.Rows {
+		t := bench.NewTable(
+			fmt.Sprintf("%s — who pays the tail (storm %s..%s)",
+				r.Runtime, ns(r.StormStartNs), ns(r.StormEndNs)),
+			"q", "request", "latency", "queue", "boot", "restore", "service", "redo", "evictions")
+		for _, q := range r.Quantiles {
+			c := q.Components
+			t.Row(q.Q, q.RequestID,
+				fmt.Sprintf("%.2fms", q.LatencyMs),
+				pct(c.QueuePs, c.TotalPs), pct(c.BootPs, c.TotalPs),
+				pct(c.WarmRestorePs, c.TotalPs), pct(c.ServicePs, c.TotalPs),
+				pct(c.StormRedoPs, c.TotalPs), fmt.Sprintf("%d", c.Evictions))
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+}
 
+// validateModes is the flag-combination rule, separated from main so
+// it is unit-testable: exactly one mode, refinements only with -in.
+func validateModes(slo, in, bundle, attr, series string, tail int) error {
 	modes := 0
-	for _, m := range []string{*slo, *in, *bundle} {
+	for _, m := range []string{slo, in, bundle, attr} {
 		if m != "" {
 			modes++
 		}
 	}
 	if modes != 1 {
-		usage("exactly one of -slo, -in, -bundle is required")
+		return errors.New("exactly one of -slo, -in, -bundle, -attr is required")
 	}
-	if (*series != "" || *tail != 20) && *in == "" {
-		usage("-series/-tail refine -in")
+	if (series != "" || tail != 20) && in == "" {
+		return errors.New("-series/-tail refine -in")
 	}
-	if *tail < 0 {
-		usage("-tail must be >= 0")
+	if tail < 0 {
+		return errors.New("-tail must be >= 0")
+	}
+	return nil
+}
+
+func main() {
+	slo := flag.String("slo", "", "render a BENCH_slo report (ckibench -exp slo -json)")
+	in := flag.String("in", "", "render a timeline: CKITS1 binary or export JSON (ckibench -slo-out)")
+	bundle := flag.String("bundle", "", "render a flight-recorder postmortem bundle (ckibench -bundle-out)")
+	attr := flag.String("attr", "", "render a BENCH_tail attribution report (ckibench -exp tail -json)")
+	series := flag.String("series", "", "with -in: show only this series name")
+	tail := flag.Int("tail", 20, "with -in: show at most the last N windows per series (0 = all)")
+	flag.Parse()
+
+	if err := validateModes(*slo, *in, *bundle, *attr, *series, *tail); err != nil {
+		usage("%v", err)
 	}
 
 	switch {
@@ -220,6 +277,8 @@ func main() {
 		renderReport(*slo)
 	case *in != "":
 		renderTimeline(*in, *series, *tail)
+	case *attr != "":
+		renderAttr(*attr)
 	default:
 		renderBundle(*bundle)
 	}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestValidateModes covers the mode rules: exactly one of
+// -slo/-in/-bundle/-attr, refinements only with -in.
+func TestValidateModes(t *testing.T) {
+	cases := []struct {
+		name                       string
+		slo, in, bundle, attr, srs string
+		tail                       int
+		wantErr                    bool
+	}{
+		{"slo", "r.json", "", "", "", "", 20, false},
+		{"in", "", "tl.ckits", "", "", "", 20, false},
+		{"bundle", "", "", "b.json", "", "", 20, false},
+		{"attr", "", "", "", "BENCH_tail.json", "", 20, false},
+		{"in refined", "", "tl.ckits", "", "", "fleet_rejected_total", 5, false},
+		{"in tail zero", "", "tl.ckits", "", "", "", 0, false},
+
+		{"no mode", "", "", "", "", "", 20, true},
+		{"two modes slo+in", "r.json", "tl.ckits", "", "", "", 20, true},
+		{"two modes slo+attr", "r.json", "", "", "BENCH_tail.json", "", 20, true},
+		{"two modes attr+bundle", "", "", "b.json", "BENCH_tail.json", "", 20, true},
+		{"series without in", "r.json", "", "", "", "x", 20, true},
+		{"series with attr", "", "", "", "BENCH_tail.json", "x", 20, true},
+		{"tail with attr", "", "", "", "BENCH_tail.json", "", 5, true},
+		{"tail negative", "", "tl.ckits", "", "", "", -1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateModes(tc.slo, tc.in, tc.bundle, tc.attr, tc.srs, tc.tail)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("validateModes(%+v) = %v, wantErr=%v", tc, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+var binPath string
+
+// TestMain builds the real binary once: exit codes are asserted
+// against it directly, because `go run` collapses every failure to
+// exit 1 and would mask usage errors (2) as runtime errors (1).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ckimon-bin")
+	if err != nil {
+		panic(err)
+	}
+	binPath = filepath.Join(dir, "ckimon")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		panic("go build: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes the built binary and returns its exit code and output.
+func run(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(binPath, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("ckimon %v: %v", args, err)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// attrFixture writes a minimal BENCH_tail report.
+func attrFixture(t *testing.T) string {
+	t.Helper()
+	rep := &bench.TailReport{
+		Seed: 1, Nodes: 2, SlotsPerNode: 1, Sched: "spread",
+		Rows: []bench.TailRow{{
+			Runtime: "RunC", Completed: 1, StormStartNs: 100, StormEndNs: 200,
+			Quantiles: []bench.TailQuantile{
+				{Q: "p50", LatencyMs: 1, RequestID: "00000000000000ab",
+					Components: bench.TailComponents{ServicePs: 1000, TotalPs: 1000}},
+			},
+			Waterfalls: []bench.TailWaterfall{{
+				RequestID: "00000000000000ab", Rank: 1, LatencyMs: 1,
+				Components: bench.TailComponents{ServicePs: 1000, TotalPs: 1000},
+			}},
+		}},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_tail.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExitCodes pins the exit-code contract: 2 for usage errors, 1
+// for runtime failures, 0 with the expected rendering otherwise.
+func TestExitCodes(t *testing.T) {
+	fixture := attrFixture(t)
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(t.TempDir(), "missing.json")
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"attr renders", []string{"-attr", fixture}, 0, "who pays the tail"},
+		{"attr summary", []string{"-attr", fixture}, 0, "Tail-latency attribution"},
+		{"no mode", nil, 2, "exactly one of"},
+		{"attr with slo", []string{"-attr", fixture, "-slo", "r.json"}, 2, "exactly one of"},
+		{"attr with series", []string{"-attr", fixture, "-series", "x"}, 2, "refine -in"},
+		{"attr with tail", []string{"-attr", fixture, "-tail", "5"}, 2, "refine -in"},
+		{"attr missing file", []string{"-attr", missing}, 1, "no such file"},
+		{"attr empty report", []string{"-attr", empty}, 1, "no rows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := run(t, tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit = %d, want %d; output:\n%s", code, tc.code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

@@ -25,9 +25,18 @@
 // picoseconds). They combine with -top, -chrome, and -folded, but not
 // with -breakdown, whose attribution is verified against the report's
 // whole-run totals.
+//
+// With -tail it loads a BENCH_tail report written by `ckibench -exp
+// tail -json` and renders per-request causal waterfalls — every
+// lifecycle segment with its virtual start time and duration, plus the
+// component attribution that sums exactly to the end-to-end latency:
+//
+//	ckitrace -tail BENCH_tail.json                          # list traced requests
+//	ckitrace -tail BENCH_tail.json -request 633821815e6de0c8
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,14 +58,12 @@ func usage(format string, args ...interface{}) {
 	os.Exit(2)
 }
 
-// validateFlags rejects conflicting flag combinations instead of
-// silently ignoring the losers. The three modes are mutually exclusive:
-// -metrics, -in (plus exactly one view selector), and the static flow
-// decomposition (-flow/-runtime).
-func validateFlags() {
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-
+// validateSet rejects conflicting flag combinations instead of
+// silently ignoring the losers. The four modes are mutually exclusive:
+// -metrics, -in (plus exactly one view selector), -tail (optionally
+// with -request), and the static flow decomposition (-flow/-runtime).
+// Separated from flag.Visit so the rules are unit-testable.
+func validateSet(set map[string]bool) error {
 	views := []string{"breakdown", "top", "chrome", "folded"}
 	nviews := 0
 	for _, v := range views {
@@ -66,32 +73,52 @@ func validateFlags() {
 	}
 	switch {
 	case set["metrics"]:
-		for _, other := range append([]string{"in", "flow", "runtime"}, views...) {
+		for _, other := range append([]string{"in", "tail", "request", "flow", "runtime"}, views...) {
 			if set[other] {
-				usage("-metrics cannot be combined with -%s", other)
+				return fmt.Errorf("-metrics cannot be combined with -%s", other)
+			}
+		}
+	case set["tail"]:
+		for _, other := range append([]string{"in", "flow", "runtime", "since", "until"}, views...) {
+			if set[other] {
+				return fmt.Errorf("-tail renders request waterfalls; it cannot be combined with -%s", other)
 			}
 		}
 	case set["in"]:
+		if set["request"] {
+			return fmt.Errorf("-request requires -tail")
+		}
 		for _, other := range []string{"flow", "runtime"} {
 			if set[other] {
-				usage("-in renders a recorded profile; -%s selects a static flow — pick one", other)
+				return fmt.Errorf("-in renders a recorded profile; -%s selects a static flow — pick one", other)
 			}
 		}
 		if nviews == 0 {
-			usage("-in requires exactly one of -breakdown, -top N, -chrome, -folded")
+			return fmt.Errorf("-in requires exactly one of -breakdown, -top N, -chrome, -folded")
 		}
 		if nviews > 1 {
-			usage("-breakdown, -top, -chrome and -folded are mutually exclusive")
+			return fmt.Errorf("-breakdown, -top, -chrome and -folded are mutually exclusive")
 		}
 		if (set["since"] || set["until"]) && set["breakdown"] {
-			usage("-since/-until cannot be combined with -breakdown (its attribution is verified against whole-run totals)")
+			return fmt.Errorf("-since/-until cannot be combined with -breakdown (its attribution is verified against whole-run totals)")
 		}
+	case set["request"]:
+		return fmt.Errorf("-request requires -tail")
 	case nviews > 0:
-		usage("-%s requires -in", firstSet(set, views))
+		return fmt.Errorf("-%s requires -in", firstSet(set, views))
 	default:
 		if set["since"] || set["until"] {
-			usage("-since/-until require -in")
+			return fmt.Errorf("-since/-until require -in")
 		}
+	}
+	return nil
+}
+
+func validateFlags() {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateSet(set); err != nil {
+		usage("%v", err)
 	}
 }
 
@@ -165,6 +192,78 @@ func profileViews(path string, breakdown, chrome, folded bool, top int, since, u
 	}
 }
 
+// renderTail renders per-request causal waterfalls from a BENCH_tail
+// report: with reqID the one request's full story, without it an index
+// of every request that has a recorded waterfall.
+func renderTail(path, reqID string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep := &bench.TailReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if reqID == "" {
+		fmt.Printf("requests with recorded waterfalls (render one with -request <id>):\n")
+		for _, r := range rep.Rows {
+			for _, wf := range r.Waterfalls {
+				fmt.Printf("  %-10s %s  rank %-4d %10.3f ms\n",
+					r.Runtime, wf.RequestID, wf.Rank, wf.LatencyMs)
+			}
+		}
+		return
+	}
+	id, err := trace.ParseRequestID(reqID)
+	if err != nil {
+		usage("%v", err)
+	}
+	want := id.String()
+	for _, r := range rep.Rows {
+		for _, wf := range r.Waterfalls {
+			if wf.RequestID != want {
+				continue
+			}
+			c := wf.Components
+			fmt.Printf("request %s — %s storm cell, slowness rank %d, latency %.3f ms\n",
+				want, r.Runtime, wf.Rank, wf.LatencyMs)
+			fmt.Printf("components (they sum exactly to the latency):\n")
+			for _, p := range []struct {
+				name string
+				ps   int64
+			}{
+				{"queue", c.QueuePs}, {"boot", c.BootPs},
+				{"warm_restore", c.WarmRestorePs}, {"service", c.ServicePs},
+				{"storm_redo", c.StormRedoPs},
+			} {
+				if p.ps == 0 {
+					continue
+				}
+				fmt.Printf("  %-14s %14s  %5.1f%%\n", p.name,
+					clock.Time(p.ps).String(), 100*float64(p.ps)/float64(c.TotalPs))
+			}
+			fmt.Printf("  %-14s %14s  (%d placement(s), %d eviction(s))\n",
+				"TOTAL", clock.Time(c.TotalPs).String(), c.Placements, c.Evictions)
+			fmt.Printf("waterfall (virtual time):\n")
+			for _, s := range wf.Steps {
+				line := fmt.Sprintf("  %14s  %-14s", clock.Time(s.AtPs).String(), s.Kind)
+				if s.DurPs > 0 {
+					line += fmt.Sprintf("  +%s", clock.Time(s.DurPs).String())
+				}
+				if s.Outcome != "" {
+					line += fmt.Sprintf("  [%s]", s.Outcome)
+				}
+				if s.Kind != trace.SegArrival && s.Kind != trace.SegReject {
+					line += fmt.Sprintf("  node %d", s.Node)
+				}
+				fmt.Println(line)
+			}
+			return
+		}
+	}
+	fail("request %s has no waterfall in %s (list them with -tail alone)", want, path)
+}
+
 func renderMetrics(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -190,11 +289,17 @@ func main() {
 	metricsIn := flag.String("metrics", "", "render a metrics snapshot JSON written by -metrics-out")
 	since := flag.String("since", "", "with -in: drop spans starting before this virtual time (e.g. 120us, 1.5ms; bare = ps)")
 	until := flag.String("until", "", "with -in: drop spans starting after this virtual time")
+	tailIn := flag.String("tail", "", "BENCH_tail report JSON from ckibench -exp tail -json")
+	request := flag.String("request", "", "with -tail: render this request's causal waterfall (16-hex id)")
 	flag.Parse()
 	validateFlags()
 
 	if *metricsIn != "" {
 		renderMetrics(*metricsIn)
+		return
+	}
+	if *tailIn != "" {
+		renderTail(*tailIn, *request)
 		return
 	}
 	if *in != "" {

@@ -28,6 +28,7 @@ func Extensions() []Experiment {
 		{"snapshot", "Checkpoint/restore, live migration & warm-restart MTTR", ExtSnapshot},
 		{"fleet", "Datacenter fleet serving: capacity curves & tail latency", ExtFleet},
 		{"slo", "Live telemetry: SLO burn-rate alerts & flight-recorder postmortems", ExtSLO},
+		{"tail", "Per-request causal tracing: critical-path tail-latency attribution", ExtTail},
 		{"breakdown", "Cycle attribution: per-phase span trees vs measured totals", ExtBreakdown},
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/snapshot"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // The fleet experiment: datacenter-scale serving. A calibration pass
@@ -109,6 +110,12 @@ type FleetReport struct {
 	// part of the report JSON, so the committed artifact bytes do not
 	// depend on whether scraping was on.
 	Timeline *telemetry.Store `json:"-"`
+
+	// RequestTraces holds one request recorder per grid cell (cell
+	// order) when FleetOpts.TraceRequests was set. Like Timeline it is
+	// not part of the report JSON: recording every request's lifecycle
+	// leaves the committed artifact bytes unchanged (a test pins this).
+	RequestTraces []*trace.RequestRecorder `json:"-"`
 }
 
 // FleetOpts parameterizes the experiment; zero values mean the
@@ -132,6 +139,10 @@ type FleetOpts struct {
 	// merged timeline via FleetReport.Timeline. Pure observation: the
 	// report rows are byte-identical with or without it.
 	ScrapeInterval clock.Time
+	// TraceRequests, when set, attaches a request recorder to every
+	// grid cell and exposes them via FleetReport.RequestTraces. Pure
+	// like ScrapeInterval: the report JSON bytes do not change.
+	TraceRequests bool
 }
 
 // fleetSpecs is the runtime axis: every runtime, sized for many small
@@ -411,6 +422,10 @@ func RunFleet(o FleetOpts) (*FleetReport, error) {
 	if o.ScrapeInterval > 0 {
 		stores = make([]*telemetry.Store, nGrid)
 	}
+	var recs []*trace.RequestRecorder
+	if o.TraceRequests {
+		recs = make([]*trace.RequestRecorder, nGrid)
+	}
 	// The replayed segment is the storm cell (last segment) under the
 	// last scheduler in the axis.
 	replaySeg := nSegs - 1
@@ -431,6 +446,10 @@ func RunFleet(o FleetOpts) (*FleetReport, error) {
 					metrics.L("sched", scheds[sj].Name()))
 				cfg.ScrapeEvery = o.ScrapeInterval
 				stores[ci] = store
+			}
+			if o.TraceRequests {
+				recs[ci] = trace.NewRequestRecorder()
+				cfg.Requests = recs[ci]
 			}
 			res, err := fleet.Run(cfg)
 			if err != nil {
@@ -495,6 +514,7 @@ func RunFleet(o FleetOpts) (*FleetReport, error) {
 		}
 		rep.Timeline = merged
 	}
+	rep.RequestTraces = recs
 	return rep, nil
 }
 

@@ -21,14 +21,19 @@ import (
 	"strings"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // Arrival is one open-loop request arrival: a unit of work (for the
 // fleet layer, one secure-container instance to place and run) entering
-// the system at a time the system does not control.
+// the system at a time the system does not control. ID is the request's
+// stable causal-tracing identity, minted here at the source — a pure
+// function of (seed, Seq) — and propagated unchanged through every
+// downstream lifecycle stage.
 type Arrival struct {
 	At  clock.Time
 	Seq int
+	ID  trace.RequestID
 }
 
 // Rand is a small deterministic PRNG (SplitMix64) for arrival
@@ -76,7 +81,7 @@ func PoissonArrivals(seed uint64, ratePerSec float64, horizon clock.Time) []Arri
 		if at >= horizon {
 			return out
 		}
-		out = append(out, Arrival{At: at, Seq: len(out)})
+		out = append(out, Arrival{At: at, Seq: len(out), ID: trace.MintRequestID(seed, len(out))})
 	}
 }
 
@@ -108,7 +113,7 @@ func PiecewiseArrivals(seed uint64, segs []RateSegment) []Arrival {
 				if t >= limit {
 					break
 				}
-				out = append(out, Arrival{At: base + clock.FromNanos(t), Seq: len(out)})
+				out = append(out, Arrival{At: base + clock.FromNanos(t), Seq: len(out), ID: trace.MintRequestID(seed, len(out))})
 			}
 		}
 		base += s.Dur
@@ -240,7 +245,7 @@ func (d DiurnalTrace) Arrivals() []Arrival {
 	}
 	out := make([]Arrival, len(times))
 	for i, at := range times {
-		out[i] = Arrival{At: at, Seq: i}
+		out[i] = Arrival{At: at, Seq: i, ID: trace.MintRequestID(d.Seed, i)}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/des"
+	"repro/internal/trace"
 )
 
 // RuntimeCosts are the per-runtime machine truths the control plane
@@ -58,6 +59,13 @@ type Config struct {
 	// observer never changes the Result (a test pins this).
 	Observe     Observer
 	ScrapeEvery clock.Time
+	// Requests, when non-nil, records every request's lifecycle as
+	// causal virtual-time segments (arrival, queue, placement, boot or
+	// warm restore, service, storm redo, terminal) keyed by the
+	// RequestID minted at the arrival source. Like Observe it is pure:
+	// attaching a recorder never changes the Result, and a nil recorder
+	// costs nothing (a test pins both).
+	Requests *trace.RequestRecorder
 }
 
 // EvictOutcome classifies how a displaced container instance re-enters
@@ -96,8 +104,9 @@ type Observer interface {
 	// Arrival: one open-loop arrival entered the system.
 	Arrival(now clock.Time)
 	// Completed: a container on node finished its demand; latency is
-	// arrival to completion.
-	Completed(now clock.Time, node int, latency clock.Time)
+	// arrival to completion; id is the request's tracing identity (for
+	// histogram exemplars linking buckets back to concrete traces).
+	Completed(now clock.Time, node int, id trace.RequestID, latency clock.Time)
 	// Rejected: admission control turned an arrival away.
 	Rejected(now clock.Time)
 	// Evicted: a storm displaced one container instance from node.
@@ -241,6 +250,18 @@ func Run(cfg Config) (*Result, error) {
 		return view
 	}
 
+	// rec is the request-trace sink; a nil *RequestRecorder is a valid
+	// no-op, so every emission below is unconditional. Timed segments
+	// (queue, boot, service, redo) are emitted retrospectively once
+	// their end is known; emitTimed skips empty intervals so waterfalls
+	// stay clean without breaking the tiling the conservation law checks.
+	rec := cfg.Requests
+	emitTimed := func(id trace.RequestID, kind string, at, dur clock.Time, node int) {
+		if dur > 0 {
+			rec.Emit(id, kind, at, dur, node, "")
+		}
+	}
+
 	var start func(n *SimNode, inst *instance, now clock.Time)
 	var place func(inst *instance, now clock.Time)
 
@@ -252,13 +273,17 @@ func Run(cfg Config) (*Result, error) {
 			n.removeRunning(inst)
 			res.Completed++
 			res.Latencies = append(res.Latencies, now-inst.arrivedAt)
+			emitTimed(inst.id, inst.bootKind, inst.startedAt, inst.boot, n.id)
+			emitTimed(inst.id, trace.SegService, inst.startedAt+inst.boot, now-(inst.startedAt+inst.boot), n.id)
+			rec.Emit(inst.id, trace.SegComplete, now, 0, n.id, "")
 			if cfg.Observe != nil {
-				cfg.Observe.Completed(now, n.id, now-inst.arrivedAt)
+				cfg.Observe.Completed(now, n.id, inst.id, now-inst.arrivedAt)
 			}
 			if len(n.queue) > 0 {
 				next := n.queue[0]
 				n.queue = n.queue[1:]
 				res.TotalQueueWait += now - next.enqueuedAt
+				emitTimed(next.id, trace.SegQueue, next.enqueuedAt, now-next.enqueuedAt, n.id)
 				start(n, next, now)
 			}
 		}
@@ -277,6 +302,7 @@ func Run(cfg Config) (*Result, error) {
 		id, ok := cfg.Sched.Place(refreshView())
 		if !ok {
 			res.Rejected++
+			rec.Emit(inst.id, trace.SegReject, now, 0, 0, "")
 			if cfg.Observe != nil {
 				cfg.Observe.Rejected(now)
 			}
@@ -284,9 +310,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		n := nodes[id-1]
 		if len(n.running) < n.slots {
+			rec.Emit(inst.id, trace.SegPlacement, now, 0, n.id, "started")
 			start(n, inst, now)
 			return
 		}
+		rec.Emit(inst.id, trace.SegPlacement, now, 0, n.id, "queued")
 		inst.enqueuedAt = now
 		n.queue = append(n.queue, inst)
 		if len(n.queue) > n.MaxQueue {
@@ -307,15 +335,25 @@ func Run(cfg Config) (*Result, error) {
 		if max := 8 * cfg.MeanReqs; reqs > max {
 			reqs = max
 		}
+		id := a.ID
+		if id == 0 {
+			// Hand-built arrival streams (tests, closed fixtures) carry
+			// no minted ID; derive the same stable identity they would
+			// have gotten at the source.
+			id = trace.MintRequestID(cfg.Seed, a.Seq)
+		}
 		inst := &instance{
 			seq:       a.Seq,
+			id:        id,
 			arrivedAt: a.At,
 			boot:      cfg.Costs.Boot,
 			demand:    clock.Time(reqs) * cfg.Costs.Service,
 			reqs:      reqs,
+			bootKind:  trace.SegBoot,
 		}
 		s.At(a.At, func(now clock.Time) {
 			res.Arrived++
+			rec.Emit(inst.id, trace.SegArrival, now, 0, 0, "")
 			if cfg.Observe != nil {
 				cfg.Observe.Arrival(now)
 			}
@@ -362,7 +400,28 @@ func Run(cfg Config) (*Result, error) {
 						if elapsed >= cfg.SnapshotAge && cfg.Costs.WarmRestore > 0 {
 							res.WarmRestores++
 							outcome = EvictWarm
+							if elapsed < inst.boot {
+								// Displaced mid-boot: the partial boot
+								// is wasted (the restore replaces it).
+								emitTimed(inst.id, trace.SegStormRedo, inst.startedAt, elapsed, id)
+							} else {
+								// The finished boot and the service the
+								// snapshot preserves counted toward
+								// completion; only work past the
+								// preservation point is redone.
+								emitTimed(inst.id, inst.bootKind, inst.startedAt, inst.boot, id)
+								preserved := ran
+								if ran >= inst.demand {
+									preserved = inst.demand - cfg.Costs.Service // final request redone
+									if preserved < 0 {
+										preserved = 0
+									}
+								}
+								emitTimed(inst.id, trace.SegService, inst.startedAt+inst.boot, preserved, id)
+								emitTimed(inst.id, trace.SegStormRedo, inst.startedAt+inst.boot+preserved, ran-preserved, id)
+							}
 							inst.boot = cfg.Costs.WarmRestore
+							inst.bootKind = trace.SegWarmRestore
 							if ran < inst.demand {
 								inst.demand -= ran
 							} else {
@@ -371,11 +430,18 @@ func Run(cfg Config) (*Result, error) {
 						} else {
 							res.ColdRedos++
 							outcome = EvictCold
+							// Redone from scratch: everything since the
+							// start — boot included — is storm tax.
+							emitTimed(inst.id, trace.SegStormRedo, inst.startedAt, elapsed, id)
 							inst.boot = cfg.Costs.Boot
+							inst.bootKind = trace.SegBoot
 							inst.demand = clock.Time(inst.reqs) * cfg.Costs.Service
 						}
 						inst.gen++ // poison the in-flight completion
+					} else {
+						emitTimed(inst.id, trace.SegQueue, inst.enqueuedAt, now-inst.enqueuedAt, id)
 					}
+					rec.Emit(inst.id, trace.SegEvict, now, 0, id, outcome.String())
 					if cfg.Observe != nil {
 						cfg.Observe.Evicted(now, id, outcome)
 					}

@@ -2,10 +2,12 @@ package fleet
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/clock"
 	"repro/internal/des"
+	"repro/internal/trace"
 )
 
 // testCosts is a hand-picked cost model: 300µs boot, 50µs per request,
@@ -317,14 +319,18 @@ func TestConfigValidation(t *testing.T) {
 // recordingObserver is a pure test observer: it counts every hook.
 type recordingObserver struct {
 	arrivals, completed, rejected int
+	zeroIDs                       int
 	evicted                       map[EvictOutcome]int
 	scrapes                       int
 	lastView                      []Pressure
 }
 
 func (o *recordingObserver) Arrival(clock.Time) { o.arrivals++ }
-func (o *recordingObserver) Completed(_ clock.Time, node int, lat clock.Time) {
+func (o *recordingObserver) Completed(_ clock.Time, node int, id trace.RequestID, lat clock.Time) {
 	o.completed++
+	if id == 0 {
+		o.zeroIDs++
+	}
 }
 func (o *recordingObserver) Rejected(clock.Time) { o.rejected++ }
 func (o *recordingObserver) Evicted(_ clock.Time, _ int, outcome EvictOutcome) {
@@ -366,6 +372,9 @@ func TestObserverPurity(t *testing.T) {
 	if !reflect.DeepEqual(plain, observed) {
 		t.Fatalf("observer changed the result:\n%+v\nvs\n%+v", plain, observed)
 	}
+	if obs.zeroIDs != 0 {
+		t.Fatalf("%d completions carried the reserved zero request ID", obs.zeroIDs)
+	}
 	if obs.arrivals != observed.Arrived || obs.completed != observed.Completed ||
 		obs.rejected != observed.Rejected {
 		t.Fatalf("hooks saw %d/%d/%d arrivals/completions/rejections, result has %d/%d/%d",
@@ -385,6 +394,136 @@ func TestObserverPurity(t *testing.T) {
 	if len(obs.lastView) != cfg.Nodes {
 		t.Fatalf("scrape view covers %d nodes, want %d", len(obs.lastView), cfg.Nodes)
 	}
+}
+
+// TestRequestTracePurity: attaching a request recorder changes the
+// Result not at all, every terminated request's segments obey the
+// conservation law, and the recorded completion latencies are exactly
+// the Result's latency sample.
+func TestRequestTracePurity(t *testing.T) {
+	h := 20 * clock.Millisecond
+	cfg := Config{
+		Nodes: 8, SlotsPerNode: 2, QueueLimit: 4,
+		Costs: testCosts(), MeanReqs: 4,
+		// Overloaded so rejections happen, storm so every eviction
+		// path (warm, cold, requeue) shows up in the traces.
+		Arrivals: des.PoissonArrivals(23, 60_000, h),
+		Horizon:  h, Seed: 23, Sched: Spread{},
+		SnapshotAge: 100 * clock.Microsecond,
+		EvictAt:     10 * clock.Millisecond, EvictNodes: 2, DownFor: 2 * clock.Millisecond,
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRequestRecorder()
+	cfg.Requests = rec
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("request recorder changed the result:\n%+v\nvs\n%+v", plain, traced)
+	}
+	if rec.Len() != traced.Arrived {
+		t.Fatalf("traced %d requests, %d arrived", rec.Len(), traced.Arrived)
+	}
+	var completes, rejects int
+	var lats []clock.Time
+	for _, id := range rec.Requests() {
+		segs := rec.Segments(id)
+		term, one := segs[len(segs)-1], true
+		if !term.Terminal() {
+			continue // still queued or running at the horizon
+		}
+		if _, one = rec.TerminalOf(id); !one {
+			t.Fatalf("request %s has multiple terminals", id)
+		}
+		lat, err := trace.Conserve(segs)
+		if err != nil {
+			t.Fatalf("conservation: %v\nsegments: %+v", err, segs)
+		}
+		switch term.Kind {
+		case trace.SegComplete:
+			completes++
+			lats = append(lats, lat)
+		case trace.SegReject:
+			rejects++
+		}
+	}
+	if completes != traced.Completed || rejects != traced.Rejected {
+		t.Fatalf("terminals %d complete / %d reject, result %d / %d",
+			completes, rejects, traced.Completed, traced.Rejected)
+	}
+	// The conserved latencies are the Result's sample, value for value.
+	want := append([]clock.Time(nil), traced.Latencies...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if !reflect.DeepEqual(lats, want) {
+		t.Fatalf("traced latencies disagree with the result sample")
+	}
+	if traced.WarmRestores == 0 || traced.ColdRedos == 0 {
+		t.Fatalf("scenario lost its storm coverage: %+v", traced)
+	}
+}
+
+// TestGenerationCancellation: a displaced instance whose poisoned
+// completion event fires after re-placement must terminate exactly
+// once, at the re-placed completion — the stale event emits nothing.
+func TestGenerationCancellation(t *testing.T) {
+	h := 20 * clock.Millisecond
+	arrivals := []des.Arrival{{At: 0, Seq: 0}} // ID 0: exercises the minting fallback
+	for seed := uint64(0); seed < 64; seed++ {
+		rec := trace.NewRequestRecorder()
+		res, err := Run(Config{
+			Nodes: 2, SlotsPerNode: 1, QueueLimit: 4,
+			Costs: testCosts(), MeanReqs: 4,
+			Arrivals: arrivals, Horizon: h, Seed: seed, Sched: BinPack{},
+			// Mid-boot eviction, snapshot age out of reach: cold redo.
+			SnapshotAge: clock.Time(1) << 40,
+			EvictAt:     100 * clock.Microsecond, EvictNodes: 1, DownFor: h,
+			Requests: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evicted == 0 {
+			continue // the storm picked the idle node; try another seed
+		}
+		// The stale finish (boot+demand after the original start) fires
+		// before the re-placed one (it started 100µs later): the books
+		// must still show exactly one completion...
+		if res.Completed != 1 || res.ColdRedos != 1 {
+			t.Fatalf("seed %d: completed %d, cold redos %d, want 1/1: %+v",
+				seed, res.Completed, res.ColdRedos, res)
+		}
+		id := rec.Requests()[0]
+		segs := rec.Segments(id)
+		// ...and the trace exactly one terminal segment.
+		term, one := rec.TerminalOf(id)
+		if !one || term.Kind != trace.SegComplete {
+			t.Fatalf("seed %d: terminal = %+v (unique=%v)\nsegments: %+v", seed, term, one, segs)
+		}
+		lat, err := trace.Conserve(segs)
+		if err != nil {
+			t.Fatalf("seed %d: conservation: %v\nsegments: %+v", seed, err, segs)
+		}
+		if lat != res.Latencies[0] {
+			t.Fatalf("seed %d: conserved latency %v, result %v", seed, lat, res.Latencies[0])
+		}
+		// The 100µs of pre-eviction boot shows up as storm tax.
+		var redo clock.Time
+		for _, s := range segs {
+			if s.Kind == trace.SegStormRedo {
+				redo += s.Dur
+			}
+		}
+		if redo != 100*clock.Microsecond {
+			t.Fatalf("seed %d: storm redo %v, want 100µs\nsegments: %+v", seed, redo, segs)
+		}
+		return
+	}
+	t.Fatal("no seed displaced the running instance in 64 tries")
 }
 
 // TestQuantileBoundaries pins Quantile's ceil-rank index semantics on

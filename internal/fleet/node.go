@@ -18,6 +18,7 @@ package fleet
 
 import (
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // Pressure is a node's load signal as the scheduler sees it: how many
@@ -60,6 +61,9 @@ type Node interface {
 // instance is one placed container's control-plane state.
 type instance struct {
 	seq int
+	// id is the request's causal-tracing identity, minted at the DES
+	// arrival source and carried unchanged across evictions.
+	id trace.RequestID
 	// arrivedAt is the original arrival time; latency is measured from
 	// here even across evictions and restarts.
 	arrivedAt clock.Time
@@ -69,8 +73,11 @@ type instance struct {
 	startedAt clock.Time
 	// boot is the start cost to pay (cold boot, or warm restore after
 	// an eviction); demand is the remaining run time after boot.
-	boot   clock.Time
-	demand clock.Time
+	// bootKind names boot for the request trace (trace.SegBoot or
+	// trace.SegWarmRestore).
+	boot     clock.Time
+	demand   clock.Time
+	bootKind string
 	// reqs is the request count backing demand (the replay work list).
 	reqs int
 	node int

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// feed pushes the buildRegistry histogram samples through
+// ObserveExemplar with request IDs attached.
+func feedExemplars(h *Histogram) {
+	h.ObserveExemplar(clock.FromNanos(90), 0xaa)
+	h.ObserveExemplar(clock.FromNanos(90), 0xbb)
+	h.ObserveExemplar(clock.FromNanos(336), 0xcc)
+}
+
+// TestExemplarDisabledByteUnchanged is the golden gate: a histogram
+// that never opted in renders — Prometheus text and JSON snapshot —
+// byte-identically whether samples arrive via Observe or
+// ObserveExemplar, so attaching request IDs to every completion is
+// free for pre-exemplar consumers.
+func TestExemplarDisabledByteUnchanged(t *testing.T) {
+	plain := buildRegistry()
+	viaIDs := NewRegistry()
+	viaIDs.Counter("guest_syscalls_total", "Syscalls served.", L("runtime", "CKI-BM")).Add(7)
+	viaIDs.Gauge("tlb_hit_ratio", "Hit ratio.", L("runtime", "CKI-BM"), L("pcid", "1")).Set(0.875)
+	feedExemplars(viaIDs.Histogram("syscall_latency_ns", "Syscall latency.", []int64{64, 128},
+		L("runtime", "CKI-BM")))
+
+	var a, b bytes.Buffer
+	if err := plain.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaIDs.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("disabled exemplars changed the Prometheus render:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if strings.Contains(b.String(), "#") != strings.Contains(a.String(), "#") {
+		t.Errorf("exemplar markers leaked into a disabled render")
+	}
+	aj, err := plain.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := viaIDs.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("disabled exemplars changed the JSON snapshot")
+	}
+	if bytes.Contains(bj, []byte("exemplars")) {
+		t.Errorf("exemplars field present in a disabled snapshot")
+	}
+}
+
+// TestExemplarEnabledRender: an opted-in histogram keeps, per bucket,
+// the last (request, value) pair and renders it in both formats.
+func TestExemplarEnabledRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("syscall_latency_ns", "Syscall latency.", []int64{64, 128})
+	h.EnableExemplars()
+	feedExemplars(h)
+	h.ObserveExemplar(clock.FromNanos(100), 0xdd) // overwrites 0xbb in le=128
+	h.ObserveExemplar(clock.FromNanos(50), 0)     // reserved id: counted, not retained
+
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("Exemplars() = %+v, want 2 (le=128 and +Inf)", ex)
+	}
+	if ex[0].BucketNs != 128 || ex[0].ID != 0xdd || ex[0].Value != clock.FromNanos(100) {
+		t.Errorf("le=128 exemplar = %+v, want last writer 0xdd@100ns", ex[0])
+	}
+	if ex[1].BucketNs != -1 || ex[1].ID != 0xcc {
+		t.Errorf("+Inf exemplar = %+v, want 0xcc", ex[1])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"syscall_latency_ns_bucket{le=\"128\"} 4 # {request_id=\"00000000000000dd\"} 100.000",
+		"syscall_latency_ns_bucket{le=\"+Inf\"} 5 # {request_id=\"00000000000000cc\"} 336.000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm missing %q in:\n%s", want, out)
+		}
+	}
+	// The le=64 bucket holds only the discarded zero-ID sample: no tail.
+	if !strings.Contains(out, "syscall_latency_ns_bucket{le=\"64\"} 1\n") {
+		t.Errorf("empty-exemplar bucket line altered:\n%s", out)
+	}
+
+	js, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"bucket_ns": 128`, `"request_id": "00000000000000dd"`, `"value_ns": 100`,
+		`"bucket_ns": -1`, `"request_id": "00000000000000cc"`,
+	} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("snapshot missing %s in:\n%s", want, js)
+		}
+	}
+}
+
+// TestExemplarMerge: merging cells in the fixed sequential order makes
+// the merged exemplar the last cell's, deterministically, and an
+// exemplar-free destination adopts the source's.
+func TestExemplarMerge(t *testing.T) {
+	mk := func(id uint64, ns float64) *Registry {
+		r := NewRegistry()
+		h := r.Histogram("lat", "l", []int64{64, 128})
+		h.EnableExemplars()
+		h.ObserveExemplar(clock.FromNanos(ns), id)
+		return r
+	}
+	dst := NewRegistry()
+	dst.Merge(mk(0x1, 90))
+	dst.Merge(mk(0x2, 100))
+	h := dst.Histogram("lat", "l", []int64{64, 128})
+	ex := h.Exemplars()
+	if len(ex) != 1 || ex[0].ID != 0x2 || ex[0].BucketNs != 128 {
+		t.Fatalf("merged exemplars = %+v, want last writer 0x2 in le=128", ex)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("merged count = %d, want 2", h.Count())
+	}
+}

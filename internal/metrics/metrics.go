@@ -188,6 +188,14 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
+// exemplar is the last (request id, value) pair a bucket observed,
+// retained only when the histogram opted in via EnableExemplars.
+type exemplar struct {
+	id  uint64
+	val clock.Time
+	set bool
+}
+
 // Histogram is a virtual-time latency distribution with fixed
 // nanosecond upper bounds. Nil-safe.
 type Histogram struct {
@@ -196,12 +204,29 @@ type Histogram struct {
 	inf    uint64
 	sum    clock.Time
 	n      uint64
+	// ex holds per-bucket exemplars; non-nil doubles as the opt-in
+	// flag. infEx is the +Inf bucket's exemplar.
+	ex    []exemplar
+	infEx exemplar
 }
 
 // DefaultLatencyBuckets covers the simulator's flow latencies
 // (hundreds of ns to tens of µs), in nanoseconds.
 var DefaultLatencyBuckets = []int64{
 	64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+}
+
+// bucket returns the index of the bucket d falls in, len(bounds) for
+// +Inf. Compared in picoseconds with integer math — float conversion
+// here could round a boundary sample into the wrong bucket.
+func (h *Histogram) bucket(d clock.Time) int {
+	ps := int64(d)
+	for i, ub := range h.bounds {
+		if ps <= ub*1000 {
+			return i
+		}
+	}
+	return len(h.bounds)
 }
 
 // Observe records one latency sample.
@@ -211,16 +236,75 @@ func (h *Histogram) Observe(d clock.Time) {
 	}
 	h.sum += d
 	h.n++
-	// Compare in picoseconds with integer math — float conversion here
-	// could round a boundary sample into the wrong bucket.
-	ps := int64(d)
-	for i, ub := range h.bounds {
-		if ps <= ub*1000 {
-			h.counts[i]++
-			return
+	if i := h.bucket(d); i < len(h.counts) {
+		h.counts[i]++
+	} else {
+		h.inf++
+	}
+}
+
+// EnableExemplars opts the histogram into retaining, per bucket, the
+// last request ID and value observed through ObserveExemplar. Off by
+// default: a histogram that never opts in renders byte-identically to
+// one that predates exemplars (a golden test pins this).
+func (h *Histogram) EnableExemplars() {
+	if h != nil && h.ex == nil {
+		h.ex = make([]exemplar, len(h.bounds))
+	}
+}
+
+// ObserveExemplar records one latency sample attributed to a request
+// ID. On a histogram that has not opted in (or with id 0, the reserved
+// "no request" value) it degrades to a plain Observe, so callers can
+// pass IDs unconditionally.
+func (h *Histogram) ObserveExemplar(d clock.Time, id uint64) {
+	if h == nil {
+		return
+	}
+	h.sum += d
+	h.n++
+	i := h.bucket(d)
+	if i < len(h.counts) {
+		h.counts[i]++
+	} else {
+		h.inf++
+	}
+	if h.ex == nil || id == 0 {
+		return
+	}
+	e := exemplar{id: id, val: d, set: true}
+	if i < len(h.ex) {
+		h.ex[i] = e
+	} else {
+		h.infEx = e
+	}
+}
+
+// Exemplar is one bucket's retained (request, value) pair.
+type Exemplar struct {
+	// BucketNs is the bucket's upper bound in nanoseconds, -1 for the
+	// +Inf bucket.
+	BucketNs int64
+	ID       uint64
+	Value    clock.Time
+}
+
+// Exemplars returns the recorded exemplars in bucket order, +Inf last;
+// nil when the histogram never opted in or recorded none.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil || h.ex == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i, e := range h.ex {
+		if e.set {
+			out = append(out, Exemplar{BucketNs: h.bounds[i], ID: e.id, Value: e.val})
 		}
 	}
-	h.inf++
+	if h.infEx.set {
+		out = append(out, Exemplar{BucketNs: -1, ID: h.infEx.id, Value: h.infEx.val})
+	}
+	return out
 }
 
 // Count returns the number of samples (0 on nil).
@@ -329,6 +413,22 @@ func (r *Registry) Merge(src *Registry) {
 				ds.h.inf += ss.h.inf
 				ds.h.sum += ss.h.sum
 				ds.h.n += ss.h.n
+				if ss.h.ex != nil {
+					// Adopt src's exemplars per set bucket; merging
+					// cells in the fixed sequential order makes "last
+					// writer" deterministic.
+					if ds.h.ex == nil {
+						ds.h.ex = make([]exemplar, len(ds.h.counts))
+					}
+					for i, e := range ss.h.ex {
+						if e.set {
+							ds.h.ex[i] = e
+						}
+					}
+					if ss.h.infEx.set {
+						ds.h.infEx = ss.h.infEx
+					}
+				}
 			}
 		}
 	}
@@ -431,17 +531,31 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			case kindGauge:
 				_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, promLabels(s.labels), s.g.Value())
 			case kindHistogram:
+				// exSuffix renders the OpenMetrics-style exemplar tail
+				// of a bucket line; empty unless the histogram opted in
+				// and the bucket holds one, so exemplar-free output is
+				// byte-identical to the pre-exemplar format.
+				exSuffix := func(e exemplar) string {
+					if !e.set {
+						return ""
+					}
+					return fmt.Sprintf(" # {request_id=\"%016x\"} %s", e.id, fmtNanos(int64(e.val)))
+				}
 				var cum uint64
 				for i, ub := range s.h.bounds {
 					cum += s.h.counts[i]
-					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-						promLabels(s.labels, L("le", fmt.Sprintf("%d", ub))), cum); err != nil {
+					var ex exemplar
+					if s.h.ex != nil {
+						ex = s.h.ex[i]
+					}
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+						promLabels(s.labels, L("le", fmt.Sprintf("%d", ub))), cum, exSuffix(ex)); err != nil {
 						return err
 					}
 				}
 				cum += s.h.inf
-				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-					promLabels(s.labels, L("le", "+Inf")), cum); err != nil {
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+					promLabels(s.labels, L("le", "+Inf")), cum, exSuffix(s.h.infEx)); err != nil {
 					return err
 				}
 				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
@@ -468,6 +582,17 @@ type SeriesSnapshot struct {
 	Bounds []int64           `json:"buckets_ns,omitempty"`
 	Counts []uint64          `json:"bucket_counts,omitempty"`
 	Inf    *uint64           `json:"inf_count,omitempty"`
+	// Exemplars appears only on histograms that opted in and recorded
+	// at least one, so exemplar-free snapshots keep their exact bytes.
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
+}
+
+// ExemplarSnapshot is one bucket exemplar in a JSON snapshot.
+type ExemplarSnapshot struct {
+	// BucketNs is the bucket upper bound in nanoseconds, -1 for +Inf.
+	BucketNs  int64  `json:"bucket_ns"`
+	RequestID string `json:"request_id"`
+	ValueNs   int64  `json:"value_ns"`
 }
 
 // FamilySnapshot is one metric family in a JSON snapshot.
@@ -520,6 +645,13 @@ func (r *Registry) Snapshot() *Snapshot {
 				ss.Bounds = s.h.bounds
 				ss.Counts = s.h.counts
 				ss.Inf = &inf
+				for _, e := range s.h.Exemplars() {
+					ss.Exemplars = append(ss.Exemplars, ExemplarSnapshot{
+						BucketNs:  e.BucketNs,
+						RequestID: fmt.Sprintf("%016x", e.ID),
+						ValueNs:   int64(e.Value) / 1000,
+					})
+				}
 			}
 			fs.Series = append(fs.Series, ss)
 		}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // FleetProbe is the canonical fleet.Observer: it turns control-plane
@@ -67,13 +68,24 @@ func NewFleetProbe(reg *metrics.Registry, store *Store, engine *Engine, labels .
 	return p
 }
 
+// EnableExemplars opts the probe's latency histogram into per-bucket
+// request-ID exemplars (the tail experiment's link from buckets back
+// to concrete traces). Off by default so fleet/slo renders keep their
+// exact bytes.
+func (p *FleetProbe) EnableExemplars() { p.latency.EnableExemplars() }
+
+// LatencyExemplars returns the latency histogram's recorded exemplars.
+func (p *FleetProbe) LatencyExemplars() []metrics.Exemplar { return p.latency.Exemplars() }
+
 // Arrival implements fleet.Observer.
 func (p *FleetProbe) Arrival(now clock.Time) { p.arrivals.Inc() }
 
-// Completed implements fleet.Observer.
-func (p *FleetProbe) Completed(now clock.Time, node int, latency clock.Time) {
+// Completed implements fleet.Observer. The exemplar call degrades to a
+// plain Observe unless the latency histogram opted into exemplars, so
+// renders stay byte-identical for probes that never asked for them.
+func (p *FleetProbe) Completed(now clock.Time, node int, id trace.RequestID, latency clock.Time) {
 	p.completed.Inc()
-	p.latency.Observe(latency)
+	p.latency.ObserveExemplar(latency, uint64(id))
 }
 
 // Rejected implements fleet.Observer.

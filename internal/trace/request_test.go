@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestMintRequestID(t *testing.T) {
+	seen := map[RequestID]bool{}
+	for seed := uint64(0); seed < 4; seed++ {
+		for seq := 0; seq < 1000; seq++ {
+			id := MintRequestID(seed, seq)
+			if id == 0 {
+				t.Fatalf("MintRequestID(%d, %d) = 0; zero is reserved", seed, seq)
+			}
+			if seen[id] {
+				t.Fatalf("MintRequestID(%d, %d) = %s collides within a small window", seed, seq, id)
+			}
+			seen[id] = true
+		}
+	}
+	if a, b := MintRequestID(7, 42), MintRequestID(7, 42); a != b {
+		t.Fatalf("MintRequestID not deterministic: %s vs %s", a, b)
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id := MintRequestID(0xf1ee7, 99)
+	s := id.String()
+	if len(s) != 16 {
+		t.Fatalf("String() = %q, want 16 hex chars", s)
+	}
+	back, err := ParseRequestID(s)
+	if err != nil {
+		t.Fatalf("ParseRequestID(%q): %v", s, err)
+	}
+	if back != id {
+		t.Fatalf("round trip: %s -> %q -> %s", id, s, back)
+	}
+	if _, err := ParseRequestID("not-hex"); err == nil {
+		t.Fatal("ParseRequestID accepted garbage")
+	}
+	if _, err := ParseRequestID("0"); err == nil {
+		t.Fatal("ParseRequestID accepted the reserved zero id")
+	}
+}
+
+func TestNilRequestRecorder(t *testing.T) {
+	var r *RequestRecorder
+	if got := r.Emit(1, SegArrival, 0, 0, 0, ""); got != -1 {
+		t.Fatalf("nil Emit = %d, want -1", got)
+	}
+	if r.Requests() != nil || r.Segments(1) != nil || r.Len() != 0 {
+		t.Fatal("nil recorder must be an empty no-op")
+	}
+}
+
+func TestRecorderChaining(t *testing.T) {
+	r := NewRequestRecorder()
+	id := MintRequestID(1, 0)
+	other := MintRequestID(1, 1)
+
+	r.Emit(id, SegArrival, 100, 0, 0, "")
+	r.Emit(other, SegArrival, 150, 0, 0, "")
+	r.Emit(id, SegPlacement, 100, 0, 3, "queued")
+	r.Emit(id, SegQueue, 100, 50, 3, "")
+	r.Emit(other, SegReject, 150, 0, 0, "")
+	r.Emit(id, SegBoot, 150, 30, 3, "")
+	r.Emit(id, SegService, 180, 20, 3, "")
+	r.Emit(id, SegComplete, 200, 0, 3, "")
+
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+	reqs := r.Requests()
+	if len(reqs) != 2 || reqs[0] != id || reqs[1] != other {
+		t.Fatalf("Requests() = %v, want first-seen order [%s %s]", reqs, id, other)
+	}
+
+	segs := r.Segments(id)
+	if len(segs) != 6 {
+		t.Fatalf("Segments(id) = %d segments, want 6", len(segs))
+	}
+	for i, s := range segs {
+		if s.ID != i || s.Parent != i-1 {
+			t.Fatalf("segment %d: ID=%d Parent=%d, want chain", i, s.ID, s.Parent)
+		}
+		if s.Req != id {
+			t.Fatalf("segment %d carries req %s, want %s", i, s.Req, id)
+		}
+	}
+	// Interleaved requests must not cross-link.
+	osegs := r.Segments(other)
+	if len(osegs) != 2 || osegs[1].Kind != SegReject || osegs[1].Parent != 0 {
+		t.Fatalf("other request corrupted by interleaving: %+v", osegs)
+	}
+
+	if term, ok := r.TerminalOf(id); !ok || term.Kind != SegComplete {
+		t.Fatalf("TerminalOf(id) = %+v, %v", term, ok)
+	}
+
+	// Segments returns a copy.
+	segs[0].Kind = "mutated"
+	if r.Segments(id)[0].Kind != SegArrival {
+		t.Fatal("Segments leaked internal storage")
+	}
+}
+
+func TestConserve(t *testing.T) {
+	id := MintRequestID(2, 0)
+	mk := func(kind string, at, dur clock.Time) Segment {
+		return Segment{Req: id, Kind: kind, At: at, Dur: dur}
+	}
+	chain := func(segs ...Segment) []Segment {
+		for i := range segs {
+			segs[i].ID = i
+			segs[i].Parent = i - 1
+		}
+		return segs
+	}
+
+	good := chain(
+		mk(SegArrival, 100, 0),
+		mk(SegQueue, 100, 40),
+		mk(SegBoot, 140, 30),
+		mk(SegStormRedo, 170, 10),
+		mk(SegWarmRestore, 180, 5),
+		mk(SegService, 185, 15),
+		mk(SegComplete, 200, 0),
+	)
+	lat, err := Conserve(good)
+	if err != nil {
+		t.Fatalf("Conserve(good): %v", err)
+	}
+	if lat != 100 {
+		t.Fatalf("Conserve(good) = %v, want 100", lat)
+	}
+
+	rejected := chain(mk(SegArrival, 50, 0), mk(SegReject, 50, 0))
+	if lat, err := Conserve(rejected); err != nil || lat != 0 {
+		t.Fatalf("Conserve(rejected) = %v, %v; want 0, nil", lat, err)
+	}
+
+	bad := []struct {
+		name string
+		segs []Segment
+	}{
+		{"empty", nil},
+		{"no arrival", chain(mk(SegQueue, 0, 10), mk(SegComplete, 10, 0))},
+		{"gap", chain(mk(SegArrival, 0, 0), mk(SegQueue, 0, 10), mk(SegService, 15, 5), mk(SegComplete, 20, 0))},
+		{"overlap", chain(mk(SegArrival, 0, 0), mk(SegBoot, 0, 10), mk(SegService, 5, 15), mk(SegComplete, 20, 0))},
+		{"latency mismatch", chain(mk(SegArrival, 0, 0), mk(SegService, 0, 10), mk(SegComplete, 25, 0))},
+		{"no terminal", chain(mk(SegArrival, 0, 0), mk(SegService, 0, 10))},
+		{"double terminal", chain(mk(SegArrival, 0, 0), mk(SegService, 0, 10), mk(SegComplete, 10, 0), mk(SegComplete, 10, 0))},
+		{"broken chain", []Segment{
+			{Req: id, ID: 0, Parent: -1, Kind: SegArrival},
+			{Req: id, ID: 1, Parent: 1, Kind: SegComplete},
+		}},
+	}
+	for _, tc := range bad {
+		if _, err := Conserve(tc.segs); err == nil {
+			t.Errorf("Conserve(%s): want error, got nil", tc.name)
+		}
+	}
+}
