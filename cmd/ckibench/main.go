@@ -61,6 +61,17 @@
 //
 //	ckibench -exp tail -json > BENCH_tail.json
 //	ckibench -exp tail -nodes 8                      # smaller fleet
+//
+// The serverless experiment measures cold-start latency and high-churn
+// serving under the fork-from-snapshot fast path: per-runtime
+// calibration of the four instantiation paths (cold boot, eager
+// restore, COW fork, lazy fork), a machine-level churn loop against
+// one shared page store, and a fleet churn grid with per-request
+// cold-start attribution. It emits the BENCH_serverless artifact:
+//
+//	ckibench -exp serverless -json > BENCH_serverless.json
+//	ckibench -exp serverless -fork-mode lazy         # one instantiation mode
+//	ckibench -exp serverless -churn-rate 30000       # absolute arrival rate
 package main
 
 import (
@@ -159,6 +170,8 @@ type config struct {
 	scrapeIv   string
 	sloOut     string
 	bundleOut  string
+	churnRate  float64
+	forkMode   string
 }
 
 // fleetFlags reports whether any fleet-only flag is set (-nodes is
@@ -214,8 +227,8 @@ func validate(c config) error {
 	if c.fleetFlags() && c.exp != "fleet" {
 		return errors.New("-sched/-arrival-rate/-trace-file require -exp fleet")
 	}
-	if c.nodes != 0 && c.exp != "fleet" && c.exp != "slo" && c.exp != "tail" {
-		return errors.New("-nodes requires -exp fleet, slo, or tail")
+	if c.nodes != 0 && c.exp != "fleet" && c.exp != "slo" && c.exp != "tail" && c.exp != "serverless" {
+		return errors.New("-nodes requires -exp fleet, slo, tail, or serverless")
 	}
 	if c.nodes < 0 {
 		return errors.New("-nodes must be >= 1")
@@ -252,8 +265,19 @@ func validate(c config) error {
 	if c.arrival != 0 && c.traceFile != "" {
 		return errors.New("-arrival-rate and -trace-file are mutually exclusive")
 	}
-	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" && c.exp != "slo" && c.exp != "tail" {
-		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, fleet, slo, or tail")
+	if (c.churnRate != 0 || c.forkMode != "") && c.exp != "serverless" {
+		return errors.New("-churn-rate/-fork-mode require -exp serverless")
+	}
+	if c.churnRate < 0 {
+		return errors.New("-churn-rate must be > 0")
+	}
+	switch c.forkMode {
+	case "", "cold", "eager", "cow", "lazy":
+	default:
+		return fmt.Errorf("-fork-mode must be cold, eager, cow, or lazy (got %q)", c.forkMode)
+	}
+	if c.jsonOut && c.exp != "chaos" && c.exp != "smp" && c.exp != "wallclock" && c.exp != "snapshot" && c.exp != "fleet" && c.exp != "slo" && c.exp != "tail" && c.exp != "serverless" {
+		return errors.New("-json is only supported with -exp chaos, smp, wallclock, snapshot, fleet, slo, tail, or serverless")
 	}
 	return nil
 }
@@ -273,13 +297,15 @@ func main() {
 	flag.IntVar(&cfg.seeds, "seeds", 1, "with -exp chaos -json: sweep this many derived seeds")
 	flag.StringVar(&cfg.snapOut, "snap-out", "", "with -exp snapshot: write the CKI cell's CKISNAP1 checkpoint image to FILE")
 	flag.IntVar(&cfg.interval, "checkpoint-interval", 1, "with -exp snapshot: supervised rounds between periodic checkpoints in the warm-restart comparison")
-	flag.IntVar(&cfg.nodes, "nodes", 0, "with -exp fleet/slo/tail: simulated node count")
+	flag.IntVar(&cfg.nodes, "nodes", 0, "with -exp fleet/slo/tail/serverless: simulated node count")
 	flag.StringVar(&cfg.sched, "sched", "", "with -exp fleet: restrict to one scheduler (binpack, spread; default both)")
 	flag.Float64Var(&cfg.arrival, "arrival-rate", 0, "with -exp fleet: replace the capacity curve with one open-loop segment at this rate (arrivals/sec)")
 	flag.StringVar(&cfg.traceFile, "trace-file", "", "with -exp fleet: drive arrivals from a piecewise rate trace file (\"rate_per_sec duration_ms\" lines)")
 	flag.StringVar(&cfg.scrapeIv, "scrape-interval", "", "with -exp fleet/slo: virtual scrape interval (e.g. 250us, 1.5ms; bare numbers are ps)")
 	flag.StringVar(&cfg.sloOut, "slo-out", "", "with -exp slo: write per-runtime CKITS1 timelines under DIR; with -exp fleet -scrape-interval: write the merged timeline to FILE (.ckits = binary, else JSON)")
 	flag.StringVar(&cfg.bundleOut, "bundle-out", "", "with -exp slo: write the postmortem bundles as JSON under DIR")
+	flag.Float64Var(&cfg.churnRate, "churn-rate", 0, "with -exp serverless: replace the derived churn arrival rate with this absolute rate (arrivals/sec)")
+	flag.StringVar(&cfg.forkMode, "fork-mode", "", "with -exp serverless: restrict the fleet stage to one instantiation mode (cold, eager, cow, lazy; default all)")
 	flag.Parse()
 
 	if err := validate(cfg); err != nil {
@@ -351,6 +377,28 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintf(os.Stderr, "ckibench: tail: %v\n", werr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if cfg.exp == "serverless" {
+		rep, err := bench.RunServerless(bench.ServerlessOpts{
+			Scale: cfg.scale, Parallel: cfg.parallel, Nodes: cfg.nodes,
+			ChurnRate: cfg.churnRate, ForkMode: cfg.forkMode,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: serverless: %v\n", err)
+			os.Exit(1)
+		}
+		var werr error
+		if cfg.jsonOut {
+			werr = bench.WriteServerlessJSON(rep, os.Stdout)
+		} else {
+			werr = bench.WriteServerlessTable(rep, os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ckibench: serverless: %v\n", werr)
 			os.Exit(1)
 		}
 		return

@@ -57,6 +57,11 @@ func TestValidate(t *testing.T) {
 		{"tail json", ok(config{exp: "tail", jsonOut: true}), false},
 		{"tail nodes", ok(config{exp: "tail", nodes: 8}), false},
 		{"tail parallel", ok(config{exp: "tail", jsonOut: true, parallel: 8}), false},
+		{"serverless json", ok(config{exp: "serverless", jsonOut: true}), false},
+		{"serverless nodes", ok(config{exp: "serverless", nodes: 8}), false},
+		{"serverless fork-mode", ok(config{exp: "serverless", forkMode: "lazy"}), false},
+		{"serverless churn-rate", ok(config{exp: "serverless", churnRate: 30_000}), false},
+		{"serverless everything", ok(config{exp: "serverless", jsonOut: true, nodes: 8, forkMode: "cow", churnRate: 5000, parallel: 8}), false},
 
 		{"parallel 0", config{parallel: 0, seeds: 1}, true},
 		{"parallel negative", config{parallel: -2, seeds: 1}, true},
@@ -102,6 +107,16 @@ func TestValidate(t *testing.T) {
 		{"tail with slo-out", ok(config{exp: "tail", sloOut: "tl"}), true},
 		{"tail with snap-out", ok(config{exp: "tail", snapOut: "cki.snap"}), true},
 		{"tail nodes negative", ok(config{exp: "tail", nodes: -1}), true},
+		{"churn-rate without serverless", ok(config{churnRate: 5000}), true},
+		{"churn-rate wrong exp", ok(config{exp: "fleet", churnRate: 5000}), true},
+		{"churn-rate negative", ok(config{exp: "serverless", churnRate: -5}), true},
+		{"fork-mode without serverless", ok(config{forkMode: "lazy"}), true},
+		{"fork-mode wrong exp", ok(config{exp: "tail", forkMode: "lazy"}), true},
+		{"fork-mode unknown", ok(config{exp: "serverless", forkMode: "warm"}), true},
+		{"serverless with sched", ok(config{exp: "serverless", sched: "spread"}), true},
+		{"serverless with arrival-rate", ok(config{exp: "serverless", arrival: 1000}), true},
+		{"serverless with scrape-interval", ok(config{exp: "serverless", scrapeIv: "50us"}), true},
+		{"serverless nodes negative", ok(config{exp: "serverless", nodes: -1}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -143,13 +158,16 @@ func TestExitCodes(t *testing.T) {
 		code int
 		want string
 	}{
-		{"list", []string{"-list"}, 0, "tail"},
+		{"list", []string{"-list"}, 0, "serverless"},
 		{"unknown exp", []string{"-exp", "warpdrive"}, 2, "unknown experiment"},
 		{"parallel zero", []string{"-parallel", "0", "-list"}, 2, "-parallel must be"},
 		{"tail with sched", []string{"-exp", "tail", "-sched", "spread"}, 2, "require -exp fleet"},
 		{"tail with scrape-interval", []string{"-exp", "tail", "-scrape-interval", "50us"}, 2, "-scrape-interval requires"},
 		{"nodes wrong exp", []string{"-exp", "smp", "-nodes", "4"}, 2, "-nodes requires"},
 		{"json wrong exp", []string{"-exp", "ext-pku", "-json"}, 2, "-json is only supported"},
+		{"fork-mode wrong exp", []string{"-exp", "smp", "-fork-mode", "lazy"}, 2, "require -exp serverless"},
+		{"churn-rate negative", []string{"-exp", "serverless", "-churn-rate", "-5"}, 2, "-churn-rate must be"},
+		{"fork-mode unknown", []string{"-exp", "serverless", "-fork-mode", "warm"}, 2, "-fork-mode must be"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -29,6 +29,7 @@ func Extensions() []Experiment {
 		{"fleet", "Datacenter fleet serving: capacity curves & tail latency", ExtFleet},
 		{"slo", "Live telemetry: SLO burn-rate alerts & flight-recorder postmortems", ExtSLO},
 		{"tail", "Per-request causal tracing: critical-path tail-latency attribution", ExtTail},
+		{"serverless", "Serverless churn: fork-from-snapshot cold-start fast path", ExtServerless},
 		{"breakdown", "Cycle attribution: per-phase span trees vs measured totals", ExtBreakdown},
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/smp"
+	"repro/internal/snapshot"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 )
@@ -272,6 +273,49 @@ func RunWallclock(opts WallclockOpts) (*WallclockReport, error) {
 			}
 		}),
 	)
+
+	// The fork-from-snapshot host hot paths: steady-state snapshot
+	// encode into a reused buffer (the supervisor's per-round
+	// checkpoint) and per-page digest resolution against the
+	// content-addressed page store (one Lookup per restored page).
+	sc, err := backends.New(backends.CKI, backends.Options{TLBEntries: serverlessTLBEntries})
+	if err != nil {
+		return nil, fmt.Errorf("wallclock: snapshot boot: %w", err)
+	}
+	if _, err := serverlessInit(sc.K, 1); err != nil {
+		return nil, fmt.Errorf("wallclock: snapshot init: %w", err)
+	}
+	snap, err := backends.Checkpoint(sc)
+	if err != nil {
+		return nil, fmt.Errorf("wallclock: checkpoint: %w", err)
+	}
+	encBuf := make([]byte, 0, snapshot.Size(snap))
+	rep.Benches = append(rep.Benches, runBench("snapshot/encode_to", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			encBuf = snapshot.EncodeTo(snap, encBuf[:0])
+		}
+	}))
+	ps := snapshot.NewPageStore(mem.New(1 << 12))
+	const storeDigests = 512
+	for d := uint64(0); d < storeDigests; d++ {
+		if _, err := ps.Intern(d * 0x9e3779b97f4a7c15); err != nil {
+			return nil, fmt.Errorf("wallclock: pagestore: %w", err)
+		}
+	}
+	psMiss := false
+	rep.Benches = append(rep.Benches, runBench("pagestore/lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := ps.Lookup(uint64(i%storeDigests) * 0x9e3779b97f4a7c15); !ok {
+				psMiss = true
+				return
+			}
+		}
+	}))
+	if psMiss {
+		return nil, fmt.Errorf("wallclock: pagestore lookup missed an interned digest")
+	}
 
 	// Flush-vs-capacity curve: invalidate a 64-entry PCID against a
 	// nearly-full background at increasing capacities.

@@ -41,6 +41,7 @@ func TestRunWallclockSmoke(t *testing.T) {
 		"shootdown/8vcpu",
 		"tlb/lookup_hit", "tlb/insert_evict", "tlb/flush_page_reinsert",
 		"audit/record", "trace/span_nil",
+		"snapshot/encode_to", "pagestore/lookup",
 	} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("missing bench entry %q", want)
@@ -51,6 +52,7 @@ func TestRunWallclockSmoke(t *testing.T) {
 	for _, name := range []string{
 		"shootdown/8vcpu", "tlb/lookup_hit", "tlb/insert_evict",
 		"tlb/flush_page_reinsert", "audit/record", "trace/span_nil",
+		"snapshot/encode_to", "pagestore/lookup",
 	} {
 		if e := byName[name]; e.AllocsPerOp != 0 {
 			t.Errorf("%s: allocs_per_op = %d, want 0", name, e.AllocsPerOp)

@@ -34,6 +34,11 @@ type Gate struct {
 	// Audit, when non-nil, records gate enter/exit transitions into the
 	// machine audit log. Nil-safe; never advances the clock.
 	Audit *audit.Recorder
+
+	// inBatch marks that the vCPU is already inside the KSM (Batch);
+	// nested Calls then run their service directly, without re-paying
+	// the wrpkrs entry/exit legs they would no-op anyway.
+	inBatch bool
 }
 
 // gate brackets one gate transition in the audit log; the deferred exit
@@ -72,6 +77,13 @@ func (g *Gate) touchPerVCPU() *hw.Fault {
 // Call runs fn inside the KSM: wrpkrs to zero with the post-write check
 // of Fig. 8a, secure-stack switch, service, and the reverse transition.
 func (g *Gate) Call(fn func() error) error {
+	if g.inBatch {
+		// Already on the secure stack with PKRS zero: the transition
+		// would be a no-op, so the service runs directly. The per-call
+		// service costs (verification phases, PTE stores) are still
+		// charged by fn itself.
+		return fn()
+	}
 	g.KSM.Stats.GateCalls++
 	span := g.Rec.Begin("ksm_call")
 	defer g.Rec.End(span)
@@ -101,6 +113,24 @@ func (g *Gate) Call(fn func() error) error {
 		return ErrGateAbuse
 	}
 	return err
+}
+
+// Batch runs fn inside a single gate transition: one wrpkrs entry leg,
+// one stack switch, one exit leg, however many KSM services fn invokes
+// through nested Calls. This is the fork-from-snapshot amortization:
+// mapping a forked image's pages issues thousands of mediated PTE
+// stores back-to-back, and paying the gate legs once per fork — rather
+// than once per store — is what keeps CKI's per-fork kernel cost near
+// a single top-PTP copy. Nested Batches coalesce the same way.
+func (g *Gate) Batch(fn func() error) error {
+	if g.inBatch {
+		return fn()
+	}
+	return g.Call(func() error {
+		g.inBatch = true
+		defer func() { g.inBatch = false }()
+		return fn()
+	})
 }
 
 // AbuseJumpToExit models the ROP attack of §4.2: the attacker jumps

@@ -125,8 +125,11 @@ func PiecewiseArrivals(seed uint64, segs []RateSegment) []Arrival {
 // line as "<rate_per_sec> <duration_ms>"; blank lines and #-comments
 // are skipped. This is the -trace-file format of ckibench -exp fleet.
 // A malformed line — wrong field count, trailing garbage, a
-// non-numeric or non-finite value, a negative rate, or a non-positive
-// duration — is an error naming the offending line.
+// non-numeric or non-finite value, a non-positive rate, or a
+// non-positive duration — is an error naming the offending line. A
+// zero rate is rejected too: PiecewiseArrivals would silently emit no
+// arrivals for the segment, and a trace that stalls its own stream is
+// always a typo, not an intent.
 func ParseRateTrace(r io.Reader) ([]RateSegment, error) {
 	var segs []RateSegment
 	sc := bufio.NewScanner(r)
@@ -152,8 +155,8 @@ func ParseRateTrace(r io.Reader) ([]RateSegment, error) {
 		if math.IsNaN(rate) || math.IsInf(rate, 0) || math.IsNaN(durMs) || math.IsInf(durMs, 0) {
 			return nil, fmt.Errorf("des: trace line %d: values must be finite", line)
 		}
-		if rate < 0 || durMs <= 0 {
-			return nil, fmt.Errorf("des: trace line %d: rate must be >= 0 and duration > 0", line)
+		if rate <= 0 || durMs <= 0 {
+			return nil, fmt.Errorf("des: trace line %d: rate and duration must be > 0 (got rate %v, duration %vms)", line, rate, durMs)
 		}
 		segs = append(segs, RateSegment{RatePerSec: rate, Dur: clock.Time(durMs * float64(clock.Millisecond))})
 	}

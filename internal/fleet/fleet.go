@@ -17,6 +17,10 @@ type RuntimeCosts struct {
 	Boot        clock.Time
 	Service     clock.Time
 	WarmRestore clock.Time
+	// ForkBoot is the cost of instantiating from a shared snapshot via
+	// the fork-from-snapshot fast path (COW page sharing); used when
+	// Config.ForkBoots selects the serverless churn arrival mode.
+	ForkBoot clock.Time
 }
 
 // Config describes one fleet run.
@@ -52,6 +56,12 @@ type Config struct {
 	EvictAt    clock.Time
 	EvictNodes int
 	DownFor    clock.Time
+	// ForkBoots selects the serverless churn arrival mode: every
+	// arrival instantiates by forking a node-resident snapshot
+	// (Costs.ForkBoot, traced as a fork_boot segment) instead of cold
+	// booting. Storm cold-redos re-fork too — losing a forked instance
+	// never resurrects the cold-boot cost it avoided.
+	ForkBoots bool
 	// Observe, when non-nil, sees control-plane events as they happen
 	// in virtual time; ScrapeEvery, when > 0, additionally invokes
 	// Observe.Scrape with the node pressure view at every multiple of
@@ -227,6 +237,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Costs.Service <= 0 {
 		return nil, fmt.Errorf("fleet: non-positive service cost")
 	}
+	if cfg.ForkBoots && cfg.Costs.ForkBoot <= 0 {
+		return nil, fmt.Errorf("fleet: churn mode needs a positive fork-boot cost")
+	}
+	// arrivalBoot is how a fresh instance (an arrival, or a storm
+	// cold-redo) comes up in this run's arrival mode.
+	arrivalBoot, arrivalBootKind := cfg.Costs.Boot, trace.SegBoot
+	if cfg.ForkBoots {
+		arrivalBoot, arrivalBootKind = cfg.Costs.ForkBoot, trace.SegForkBoot
+	}
 
 	s := &des.Sim{}
 	res := &Result{}
@@ -346,10 +365,10 @@ func Run(cfg Config) (*Result, error) {
 			seq:       a.Seq,
 			id:        id,
 			arrivedAt: a.At,
-			boot:      cfg.Costs.Boot,
+			boot:      arrivalBoot,
 			demand:    clock.Time(reqs) * cfg.Costs.Service,
 			reqs:      reqs,
-			bootKind:  trace.SegBoot,
+			bootKind:  arrivalBootKind,
 		}
 		s.At(a.At, func(now clock.Time) {
 			res.Arrived++
@@ -433,8 +452,8 @@ func Run(cfg Config) (*Result, error) {
 							// Redone from scratch: everything since the
 							// start — boot included — is storm tax.
 							emitTimed(inst.id, trace.SegStormRedo, inst.startedAt, elapsed, id)
-							inst.boot = cfg.Costs.Boot
-							inst.bootKind = trace.SegBoot
+							inst.boot = arrivalBoot
+							inst.bootKind = arrivalBootKind
 							inst.demand = clock.Time(inst.reqs) * cfg.Costs.Service
 						}
 						inst.gen++ // poison the in-flight completion

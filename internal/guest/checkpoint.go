@@ -123,6 +123,15 @@ func (k *Kernel) CaptureImage() (*Image, error) {
 	if len(k.cowRefs) > 0 {
 		return nil, &ErrCheckpoint{Reason: "outstanding copy-on-write sharings"}
 	}
+	for _, p := range k.procs {
+		if p.Exited || p.AS == nil {
+			continue
+		}
+		if len(p.AS.shared) > 0 || len(p.AS.lazy) > 0 {
+			return nil, &ErrCheckpoint{Reason: fmt.Sprintf(
+				"pid %d still holds fork-shared or lazily deferred pages", p.PID)}
+		}
+	}
 	if !k.VIC.Enabled() || k.VIC.Pending() > 0 {
 		return nil, &ErrCheckpoint{Reason: "virtual interrupt controller not quiescent"}
 	}
@@ -242,11 +251,23 @@ func (k *Kernel) captureProc(p *Proc) (ProcImage, error) {
 // rebuilt entry. Preemption is disabled for the duration and re-armed
 // to the image's timeslice at the end.
 func (k *Kernel) RestoreImage(img *Image) error {
+	return k.RestoreImageMode(img, RestoreEager, nil)
+}
+
+// RestoreImageMode is RestoreImage with a fork-time page policy:
+// RestoreCOW maps resident pages shared read-only through the Fork
+// hook instead of demand-faulting them, and RestoreLazy additionally
+// defers every page outside prefetch (page-aligned VAs) to its first
+// touch. Both fork modes require a ForkPages hook to be installed.
+func (k *Kernel) RestoreImageMode(img *Image, mode RestoreMode, prefetch map[uint64]struct{}) error {
 	if k.dead {
 		return fmt.Errorf("guest: restore onto a dead kernel")
 	}
 	if img.ContainerID != k.ContainerID {
 		return fmt.Errorf("guest: restore of container %d onto container %d", img.ContainerID, k.ContainerID)
+	}
+	if mode != RestoreEager && k.ForkSrc == nil {
+		return fmt.Errorf("guest: fork-mode restore without a ForkPages hook")
 	}
 	k.Timeslice = 0
 	k.timer.Period = 0
@@ -273,7 +294,7 @@ func (k *Kernel) RestoreImage(img *Image) error {
 	k.FS.nextIno = img.NextIno
 
 	for i := range img.Procs {
-		if err := k.restoreProc(&img.Procs[i]); err != nil {
+		if err := k.restoreProc(&img.Procs[i], mode, prefetch); err != nil {
 			return err
 		}
 	}
@@ -303,7 +324,7 @@ func (k *Kernel) RestoreImage(img *Image) error {
 	return nil
 }
 
-func (k *Kernel) restoreProc(pi *ProcImage) error {
+func (k *Kernel) restoreProc(pi *ProcImage, mode RestoreMode, prefetch map[uint64]struct{}) error {
 	p := &Proc{
 		PID: pi.PID, Parent: pi.Parent, Affinity: pi.Affinity,
 		Exited: pi.Exited, ExitCode: pi.ExitCode,
@@ -348,12 +369,37 @@ func (k *Kernel) restoreProc(pi *ProcImage) error {
 	}
 	// Fault every resident page back in through the runtime's demand-
 	// paging path, then replay the access that gives the leaf its
-	// accessed/dirty bits via the MMU (the only writer of A/D).
+	// accessed/dirty bits via the MMU (the only writer of A/D). Fork
+	// modes instead map pages shared read-only from the page store —
+	// no fault round trip, no fill, no A/D replay (a shared leaf is
+	// fresh by construction; the image's dirty bit only means the first
+	// write will break the share, which it does anyway).
 	k.Cur = p
 	if err := k.PV.SwitchAS(k, as); err != nil {
 		return fmt.Errorf("guest: restore: pid %d switch: %w", pi.PID, err)
 	}
+	if mode != RestoreEager {
+		as.shared = make(map[uint64]bool)
+		if mode == RestoreLazy {
+			as.lazy = make(map[uint64]struct{})
+		}
+	}
+	mp := k.mapper(as)
 	for _, pg := range pi.Resident {
+		v := as.FindVMA(pg.VA)
+		if mode != RestoreEager && v != nil && !v.Huge {
+			base := pg.VA &^ uint64(mem.PageMask)
+			if mode == RestoreLazy {
+				if _, hot := prefetch[base]; !hot {
+					as.lazy[base] = struct{}{}
+					continue
+				}
+			}
+			if err := k.forkMapShared(as, mp, v, base); err != nil {
+				return fmt.Errorf("guest: restore: pid %d page %#x: %v", pi.PID, pg.VA, err)
+			}
+			continue
+		}
 		if err := k.HandleUserFault(p, pg.VA, pg.Dirty); err != nil {
 			return fmt.Errorf("guest: restore: pid %d page %#x: %v", pi.PID, pg.VA, err)
 		}

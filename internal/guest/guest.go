@@ -128,6 +128,11 @@ type Stats struct {
 	// VCPUMigrations counts vCPU moves of the container.
 	TLBShootdowns  uint64
 	VCPUMigrations uint64
+	// ShareBreaks counts fork-time page shares dissolved by a first
+	// write; LazyFaults counts pages materialized on first touch by the
+	// lazy-restore path (see fork.go).
+	ShareBreaks uint64
+	LazyFaults  uint64
 }
 
 // ShootdownEmitter is the optional Paravirt upgrade a multi-vCPU
@@ -174,6 +179,12 @@ type Kernel struct {
 
 	// cowRefs counts address spaces sharing a frame after ForkCOW.
 	cowRefs map[mem.PFN]int
+
+	// ForkSrc, when non-nil, is the fork-from-snapshot page source: it
+	// supplies shared backing frames during RestoreImageMode and
+	// observes share lifecycle events (the backend wires it to a
+	// content-addressed page store). See fork.go.
+	ForkSrc ForkPages
 
 	Stats Stats
 
@@ -289,7 +300,20 @@ type AddrSpace struct {
 	mmapCursor uint64
 	// heapVMA caches the brk-managed VMA.
 	heapVMA *VMA
+	// shared maps resident VAs whose frames came from a fork-time page
+	// share (read-only until broken); the value records whether the
+	// frame is local to this guest's allocator (see fork.go).
+	shared map[uint64]bool
+	// lazy holds VAs of image pages whose materialization the lazy
+	// restore deferred to first touch; they are not resident.
+	lazy map[uint64]struct{}
 }
+
+// SharedResident reports how many resident pages are still fork-shared.
+func (as *AddrSpace) SharedResident() int { return len(as.shared) }
+
+// LazyPending reports how many image pages remain unmaterialized.
+func (as *AddrSpace) LazyPending() int { return len(as.lazy) }
 
 // ResidentFrame reports the physical frame backing va, if resident.
 func (as *AddrSpace) ResidentFrame(va uint64) (mem.PFN, bool) {

@@ -234,6 +234,9 @@ func (k *Kernel) unmapResident(as *AddrSpace, v *VMA) error {
 		step = mem.HugePageSize
 	}
 	for va := v.Start; va < v.End; va += step {
+		// Lazily restored pages are not resident; dropping the VMA just
+		// forgets the deferred materialization.
+		delete(as.lazy, va)
 		pfn, ok := as.mapped[va]
 		if !ok {
 			continue
@@ -245,7 +248,18 @@ func (k *Kernel) unmapResident(as *AddrSpace, v *VMA) error {
 		k.remoteFlush(as, va)
 		delete(as.mapped, va)
 		if !v.Huge { // huge backing segments stay with the container
-			if k.cowRelease(pfn) {
+			if local, shared := as.shared[va]; shared {
+				// Unwritten fork share: return the reference to the store;
+				// the frame is ours to free only if it was locally backed
+				// (store-owned masters outlive any one fork).
+				delete(as.shared, va)
+				if k.ForkSrc != nil {
+					k.ForkSrc.Release(as.PCID, va)
+				}
+				if local {
+					k.PV.FreeFrame(k, pfn)
+				}
+			} else if k.cowRelease(pfn) {
 				k.PV.FreeFrame(k, pfn)
 			}
 		}
@@ -398,15 +412,23 @@ func (k *Kernel) HandleUserFault(p *Proc, va uint64, write bool) error {
 		p.AS.mapped[base] = seg.Base
 	} else {
 		base := va &^ uint64(mem.PageMask)
-		pfn, err := k.PV.AllocFrame(k)
-		if err != nil {
-			return ENOMEM
+		if _, lazy := p.AS.lazy[base]; lazy {
+			// A lazily restored image page materializes on first touch
+			// (fork.go) instead of zero-filling.
+			if err := k.lazyMaterialize(p, v, mp, base, write); err != nil {
+				return err
+			}
+		} else {
+			pfn, err := k.PV.AllocFrame(k)
+			if err != nil {
+				return ENOMEM
+			}
+			k.Phase("page_zero", costPageZero)
+			if err := mp.Map(base, pfn, protFlags(v.Prot), 0); err != nil {
+				return fmt.Errorf("guest: map: %w", err)
+			}
+			p.AS.mapped[base] = pfn
 		}
-		k.Phase("page_zero", costPageZero)
-		if err := mp.Map(base, pfn, protFlags(v.Prot), 0); err != nil {
-			return fmt.Errorf("guest: map: %w", err)
-		}
-		p.AS.mapped[base] = pfn
 	}
 	if v.File != nil {
 		// The page-cache page is mapped directly (no copy); the extra
@@ -476,7 +498,17 @@ func (k *Kernel) touch(va uint64, acc mmu.Access) error {
 			pf := k.Spans.Begin("protfault")
 			k.PV.FaultEnter(k)
 			if acc == mmu.Write {
-				// Copy-on-write resolution first (§ForkCOW).
+				// Fork-share breaks first (fork.go): a write to a page
+				// mapped shared from a snapshot store dissolves the share.
+				if handled, err := k.handleShareBreak(p, va); handled || err != nil {
+					k.PV.FaultExit(k)
+					k.Spans.End(pf)
+					if err != nil {
+						return err
+					}
+					continue
+				}
+				// Copy-on-write resolution next (§ForkCOW).
 				if handled, err := k.handleCOWFault(p, va); handled || err != nil {
 					k.PV.FaultExit(k)
 					k.Spans.End(pf)

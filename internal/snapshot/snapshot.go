@@ -132,7 +132,17 @@ func (w *writer) str(v string) { w.bytes([]byte(v)) }
 // Encoding is deterministic — the same Snapshot always yields the same
 // bytes — because every slice in guest.Image is sorted by construction.
 func Encode(s *Snapshot) []byte {
-	w := &writer{buf: make([]byte, 0, 1024)}
+	return EncodeTo(s, make([]byte, 0, 1024))
+}
+
+// EncodeTo appends the encoded snapshot to buf and returns the
+// extended slice, exactly as append would. Reusing a capacious buffer
+// makes the steady state allocation-free — the serverless churn loop
+// encodes the same template image once per fork generation, and a
+// wallclock gate pins the zero-alloc property.
+func EncodeTo(s *Snapshot, buf []byte) []byte {
+	start := len(buf)
+	w := &writer{buf: buf}
 	w.buf = append(w.buf, Magic...)
 
 	c := &s.Config
@@ -224,7 +234,7 @@ func Encode(s *Snapshot) []byte {
 		}
 	}
 
-	w.u64(fnv64a(w.buf))
+	w.u64(fnv64a(w.buf[start:]))
 	return w.buf
 }
 

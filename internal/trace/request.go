@@ -80,6 +80,9 @@ const (
 	// SegWarmRestore is a warm restore from a snapshot after an
 	// eviction.
 	SegWarmRestore = "warm_restore"
+	// SegForkBoot is a fork-from-snapshot instantiation (the serverless
+	// churn arrival mode): COW page sharing instead of a cold boot.
+	SegForkBoot = "fork_boot"
 	// SegService is service time preserved toward completion.
 	SegService = "service"
 	// SegStormRedo is run time (boot or service) an eviction threw
@@ -119,7 +122,7 @@ func (s Segment) Terminal() bool {
 // participates in the conservation law).
 func (s Segment) Timed() bool {
 	switch s.Kind {
-	case SegQueue, SegBoot, SegWarmRestore, SegService, SegStormRedo:
+	case SegQueue, SegBoot, SegWarmRestore, SegForkBoot, SegService, SegStormRedo:
 		return true
 	}
 	return false
